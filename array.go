@@ -1,0 +1,167 @@
+package gmt
+
+import "fmt"
+
+// TraceBuilder is the array-backed programming model of BaM-style
+// systems (`bam::array`): declare virtual arrays over the tiered
+// hierarchy, write ordinary element-wise loops against them, and the
+// builder lays the arrays out in page space and emits the coalesced
+// page-access trace a GPU kernel would generate.
+//
+//	tb := gmt.NewTraceBuilder(8) // 8-byte elements per page slot unit
+//	in := tb.Array("in", 1<<20, 8)
+//	out := tb.Array("out", 1<<20, 8)
+//	for i := int64(0); i < in.Elems(); i++ {
+//		in.Read(i)
+//		out.Write(i)
+//	}
+//	res := gmt.RunTrace(cfg, "copy", tb.Trace())
+type TraceBuilder struct {
+	pageSize int64
+	nextPage int64
+	arrays   []*Array
+	trace    []Access
+}
+
+// NewTraceBuilder returns a builder over 64 KiB pages.
+func NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{pageSize: 64 * 1024}
+}
+
+// Array declares a virtual array of elems elements of elemBytes each,
+// page-aligned after the previously declared arrays.
+func (tb *TraceBuilder) Array(name string, elems, elemBytes int64) *Array {
+	if elems <= 0 || elemBytes <= 0 {
+		panic("gmt: array dimensions must be positive")
+	}
+	if elemBytes > tb.pageSize {
+		panic("gmt: element larger than a page")
+	}
+	perPage := tb.pageSize / elemBytes
+	pages := (elems + perPage - 1) / perPage
+	a := &Array{
+		tb:       tb,
+		name:     name,
+		elems:    elems,
+		perPage:  perPage,
+		base:     tb.nextPage,
+		pages:    pages,
+		lastPage: -1,
+	}
+	tb.nextPage += pages
+	tb.arrays = append(tb.arrays, a)
+	return a
+}
+
+// Barrier emits a kernel-wide synchronization point: every warp must
+// finish the preceding accesses before any proceeds (a kernel-launch
+// boundary).
+func (tb *TraceBuilder) Barrier() {
+	tb.trace = append(tb.trace, Access{Page: int64(barrierPage)})
+	for _, a := range tb.arrays {
+		a.lastPage = -1 // hardware cursors don't survive kernel launches
+	}
+}
+
+// barrierPage mirrors gpu.BarrierPage without exposing internal types.
+const barrierPage = -1
+
+// Pages reports the total footprint declared so far.
+func (tb *TraceBuilder) Pages() int64 { return tb.nextPage }
+
+// Len reports the number of accesses emitted so far.
+func (tb *TraceBuilder) Len() int { return len(tb.trace) }
+
+// Trace returns a copy of the accumulated access trace.
+func (tb *TraceBuilder) Trace() []Access {
+	out := make([]Access, len(tb.trace))
+	copy(out, tb.trace)
+	return out
+}
+
+// Workload wraps the accumulated trace as a named Workload.
+func (tb *TraceBuilder) Workload(name string) Workload {
+	return &builtWorkload{name: name, pages: tb.Pages(), trace: tb.Trace()}
+}
+
+type builtWorkload struct {
+	name  string
+	pages int64
+	trace []Access
+}
+
+func (w *builtWorkload) Name() string    { return w.name }
+func (w *builtWorkload) Pages() int64    { return w.pages }
+func (w *builtWorkload) Trace() []Access { return w.trace }
+
+// Array is a virtual array living in the tiered address space.
+type Array struct {
+	tb      *TraceBuilder
+	name    string
+	elems   int64
+	perPage int64
+	base    int64
+	pages   int64
+	// lastPage coalesces consecutive same-page touches, like a warp's
+	// registers and the L2 absorbing repeat accesses to the page being
+	// streamed.
+	lastPage int64
+}
+
+// Name reports the array's name.
+func (a *Array) Name() string { return a.name }
+
+// Elems reports the element count.
+func (a *Array) Elems() int64 { return a.elems }
+
+// PageOf reports the page backing element i.
+func (a *Array) PageOf(i int64) int64 {
+	if i < 0 || i >= a.elems {
+		panic(fmt.Sprintf("gmt: %s[%d] out of range [0,%d)", a.name, i, a.elems))
+	}
+	return a.base + i/a.perPage
+}
+
+// Read records a read of element i, coalescing consecutive touches of
+// the same page.
+func (a *Array) Read(i int64) { a.touch(i, false, false) }
+
+// Write records a write of element i.
+func (a *Array) Write(i int64) { a.touch(i, true, false) }
+
+// Gather records a data-dependent read of element i that cannot
+// coalesce with the array's sequential cursor (a random access by a
+// different lane).
+func (a *Array) Gather(i int64) { a.touch(i, false, true) }
+
+func (a *Array) touch(i int64, write, gather bool) {
+	p := a.PageOf(i)
+	if !gather && !write && p == a.lastPage {
+		return
+	}
+	a.lastPage = p
+	a.tb.trace = append(a.tb.trace, Access{Page: p, Write: write})
+}
+
+// ReadRange reads elements [lo, hi) sequentially (one access per page
+// crossed).
+func (a *Array) ReadRange(lo, hi int64) {
+	for p := a.PageOf(lo); ; p++ {
+		a.lastPage = p
+		a.tb.trace = append(a.tb.trace, Access{Page: p})
+		if hi <= 0 || p >= a.PageOf(hi-1) {
+			return
+		}
+	}
+}
+
+// WriteRange writes elements [lo, hi) sequentially.
+func (a *Array) WriteRange(lo, hi int64) {
+	for p := a.PageOf(lo); ; p++ {
+		a.lastPage = p
+		a.tb.trace = append(a.tb.trace, Access{Page: p, Write: true})
+		if hi <= 0 || p >= a.PageOf(hi-1) {
+			return
+		}
+	}
+}

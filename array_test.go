@@ -1,0 +1,128 @@
+package gmt
+
+import "testing"
+
+func TestTraceBuilderLayout(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 8192, 8) // 8192 elements x 8B = 1 page
+	b := tb.Array("b", 8193, 8) // spills into a second page
+	if tb.Pages() != 3 {
+		t.Fatalf("pages = %d, want 3", tb.Pages())
+	}
+	if a.PageOf(0) != 0 || a.PageOf(8191) != 0 {
+		t.Fatal("array a spans more than its page")
+	}
+	if b.PageOf(0) != 1 || b.PageOf(8192) != 2 {
+		t.Fatalf("array b pages = %d,%d", b.PageOf(0), b.PageOf(8192))
+	}
+}
+
+func TestArraySequentialCoalescing(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 4*8192, 8) // 4 pages
+	for i := int64(0); i < a.Elems(); i++ {
+		a.Read(i)
+	}
+	// 32768 element reads coalesce into 4 page accesses.
+	if tb.Len() != 4 {
+		t.Fatalf("accesses = %d, want 4", tb.Len())
+	}
+}
+
+func TestArrayWritesAndGathersDoNotCoalesce(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 8192, 8)
+	a.Read(0)
+	a.Read(1)   // coalesced away
+	a.Gather(2) // same page, but a gather always emits
+	a.Write(3)  // writes always emit
+	if tb.Len() != 3 {
+		t.Fatalf("accesses = %d, want 3: %v", tb.Len(), tb.Trace())
+	}
+	tr := tb.Trace()
+	if !tr[2].Write {
+		t.Fatal("write access not marked")
+	}
+}
+
+func TestArrayRanges(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 3*8192, 8)
+	a.ReadRange(0, a.Elems())
+	if tb.Len() != 3 {
+		t.Fatalf("range read accesses = %d, want 3", tb.Len())
+	}
+	a.WriteRange(8192, 2*8192)
+	tr := tb.Trace()
+	if tr[len(tr)-1].Page != a.PageOf(2*8192-1) || !tr[len(tr)-1].Write {
+		t.Fatalf("range write wrong: %+v", tr[len(tr)-1])
+	}
+}
+
+func TestBuilderBarrierResetsCursors(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 8192, 8)
+	a.Read(0)
+	tb.Barrier()
+	a.Read(1) // same page, but cursors reset across kernel launches
+	tr := tb.Trace()
+	if len(tr) != 3 || tr[1].Page != -1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestBuilderWorkloadRuns(t *testing.T) {
+	// A stencil written against the array API: grid slightly larger
+	// than Tier-1+Tier-2 can hold, iterated with barriers.
+	tb := NewTraceBuilder()
+	const pages = 1500
+	grid := tb.Array("grid", pages*8192, 8)
+	for it := 0; it < 4; it++ {
+		if it > 0 {
+			tb.Barrier()
+		}
+		for p := int64(0); p < pages; p++ {
+			grid.Write(p * 8192)
+		}
+	}
+	cfg := testConfig(Reuse)
+	cfg.Tier1Pages = 64
+	cfg.Tier2Pages = 512
+	res := Run(cfg, tb.Workload("stencil"))
+	if res.Accesses != 4*pages {
+		t.Fatalf("accesses = %d, want %d", res.Accesses, 4*pages)
+	}
+	bam := cfg
+	bam.Policy = BaM
+	if res.WallTime >= Run(bam, tb.Workload("stencil")).WallTime {
+		t.Fatal("Reuse not faster than BaM on the built workload")
+	}
+}
+
+func TestArrayBoundsPanic(t *testing.T) {
+	tb := NewTraceBuilder()
+	a := tb.Array("a", 10, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	a.Read(10)
+}
+
+func TestArrayValidation(t *testing.T) {
+	tb := NewTraceBuilder()
+	for name, fn := range map[string]func(){
+		"zero elems": func() { tb.Array("x", 0, 8) },
+		"huge elem":  func() { tb.Array("x", 1, 1<<20) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,402 @@
+package gmt
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablations of GMT's design choices. Each
+// benchmark regenerates its experiment and reports the headline numbers
+// as custom metrics (e.g. reuse_speedup_x), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's result set. Benchmarks run at 1/4 of the
+// default experiment scale to keep the full sweep to a few minutes; the
+// gmtbench command runs the same drivers at any scale.
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/workload"
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+// runCore executes a trace against a core runtime configuration and
+// returns the virtual wall time.
+func runCore(cfg core.Config, trace []gpu.Access) sim.Time {
+	return runCoreWarps(cfg, trace, gpu.DefaultConfig().Warps)
+}
+
+func runCoreWarps(cfg core.Config, trace []gpu.Access, warps int) sim.Time {
+	eng := sim.NewEngine()
+	rt := core.NewRuntime(eng, cfg)
+	gcfg := gpu.DefaultConfig()
+	gcfg.Warps = warps
+	g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: trace}, rt)
+	g.Launch()
+	eng.Run()
+	return eng.Now()
+}
+
+func benchScale() workload.Scale {
+	return workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Table2(s)
+		var maxIO int64
+		for _, r := range rows {
+			if r.TotalIOBytes > maxIO {
+				maxIO = r.TotalIOBytes
+			}
+		}
+		b.ReportMetric(float64(maxIO)/1e9, "max_io_GB")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Figure4(s)
+		b.ReportMetric(rows[0].Correlation, "mva_vtd_rd_corr")
+		b.ReportMetric(rows[1].Correlation, "pagerank_vtd_rd_corr")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, _ := exp.Figure6a(xfer.DefaultConfig())
+		cross := 0
+		for _, r := range a {
+			if r.ZeroCopy32Micros <= r.DMAMicros {
+				cross = r.Pages
+				break
+			}
+		}
+		rows, _ := exp.Figure6b(xfer.DefaultConfig())
+		b.ReportMetric(float64(cross), "crossover_pages")
+		b.ReportMetric(rows[0].Hybrid32, "hybrid32_skew0_GBps")
+		b.ReportMetric(rows[len(rows)-1].Hybrid32, "hybrid32_skew1_GBps")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Figure7(s)
+		for _, r := range rows {
+			if r.App == "Hotspot" {
+				b.ReportMetric(r.EvictLong, "hotspot_tier3_bias")
+			}
+			if r.App == "Srad" {
+				b.ReportMetric(r.EvictMedium, "srad_tier2_bias")
+			}
+		}
+	}
+}
+
+// reportFig8 runs Figure 8 and reports average speedups; shared by the
+// Figure 8 benchmark and the aggregate harness.
+func reportFig8(b *testing.B, s *exp.Suite) []exp.Figure8Row {
+	rows, _ := exp.Figure8(s)
+	avg := func(p string) float64 {
+		t := 0.0
+		for _, r := range rows {
+			t += r.Speedup[p]
+		}
+		return t / float64(len(rows))
+	}
+	b.ReportMetric(avg("GMT-Reuse"), "reuse_speedup_x")
+	b.ReportMetric(avg("GMT-Random"), "random_speedup_x")
+	b.ReportMetric(avg("GMT-TierOrder"), "tierorder_speedup_x")
+	return rows
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFig8(b, exp.NewSuite(benchScale()))
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Figure9(s)
+		t, n := 0.0, 0
+		for _, r := range rows {
+			if r.Predictions > 0 {
+				t += r.Accuracy
+				n++
+			}
+		}
+		b.ReportMetric(t/float64(n), "mean_prediction_accuracy")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Figure10(s)
+		var reuseWaste, toWaste float64
+		for _, r := range rows {
+			reuseWaste += r.WastefulLookups["GMT-Reuse"]
+			toWaste += r.WastefulLookups["GMT-TierOrder"]
+		}
+		n := float64(len(rows))
+		b.ReportMetric(reuseWaste/n, "reuse_wasteful_lookup_rate")
+		b.ReportMetric(toWaste/n, "tierorder_wasteful_lookup_rate")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := exp.Figure11(benchScale())
+		t := 0.0
+		for _, r := range rows {
+			t += r.Speedup["GMT-Reuse"]
+		}
+		b.ReportMetric(t/float64(len(rows)), "reuse_speedup_osf4_x")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		byRatio, _ := exp.Figure12(benchScale())
+		for _, ratio := range []int{2, 4, 8} {
+			t := 0.0
+			rows := byRatio[ratio]
+			for _, r := range rows {
+				t += r.Speedup["GMT-Reuse"]
+			}
+			switch ratio {
+			case 2:
+				b.ReportMetric(t/float64(len(rows)), "reuse_speedup_ratio2_x")
+			case 4:
+				b.ReportMetric(t/float64(len(rows)), "reuse_speedup_ratio4_x")
+			case 8:
+				b.ReportMetric(t/float64(len(rows)), "reuse_speedup_ratio8_x")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := exp.Figure13(benchScale())
+		t := 0.0
+		for _, r := range rows {
+			t += r.Speedup["GMT-Reuse"]
+		}
+		b.ReportMetric(t/float64(len(rows)), "reuse_speedup_2xT1_x")
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Figure14(s)
+		var hmm, reuse float64
+		for _, r := range rows {
+			hmm += r.HMMSpeedup
+			reuse += r.ReuseSpeedup
+		}
+		n := float64(len(rows))
+		b.ReportMetric(hmm/n, "hmm_speedup_x")
+		b.ReportMetric(reuse/n, "reuse_speedup_x")
+		b.ReportMetric((reuse/n)/(hmm/n), "reuse_over_hmm_x")
+	}
+}
+
+// Oracle study: fraction of the Belady-style offline bound's gain that
+// GMT-Reuse's practical prediction attains.
+func BenchmarkOracleGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.OracleGap(s)
+		var attained, oracle float64
+		for _, r := range rows {
+			attained += r.Attained
+			oracle += r.OracleSpeedup
+		}
+		n := float64(len(rows))
+		b.ReportMetric(attained/n, "mean_gain_attained")
+		b.ReportMetric(oracle/n, "oracle_speedup_x")
+	}
+}
+
+// Extension study: §5 async eviction and §2 sequential prefetch.
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.Extensions(s)
+		var async, pf float64
+		for _, r := range rows {
+			async += r.AsyncSpeedup
+			pf += r.PrefetchSpeedup
+		}
+		n := float64(len(rows))
+		b.ReportMetric(async/n, "async_eviction_x")
+		b.ReportMetric(pf/n, "prefetch4_x")
+	}
+}
+
+// Ablation: §2.1.3's pipelined regression publication vs waiting for
+// the full sample target.
+func BenchmarkAblationPipelinedRegression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.RegressionWarmup(s)
+		var pipe, end float64
+		for _, r := range rows {
+			pipe += r.EarlyHitRatePipelined
+			end += r.EarlyHitRateUnpipelined
+		}
+		n := float64(len(rows))
+		b.ReportMetric(pipe/n, "early_t2hit_pipelined")
+		b.ReportMetric(end/n, "early_t2hit_endonly")
+	}
+}
+
+// Ablation: the Figure 5 predictor against 1-level and learning-free
+// variants.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.PredictorAblation(s)
+		agg := map[string]float64{}
+		for _, r := range rows {
+			for k, v := range r.Speedup {
+				agg[k] += v
+			}
+		}
+		n := float64(len(rows))
+		b.ReportMetric(agg["markov"]/n, "markov_speedup_x")
+		b.ReportMetric(agg["last-class"]/n, "lastclass_speedup_x")
+		b.ReportMetric(agg["static"]/n, "static_speedup_x")
+	}
+}
+
+// Sensitivity: storage generations (Gen3 -> near-memory) and drive
+// arrays erode the host tier's advantage.
+func BenchmarkSSDSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rows, _ := exp.SSDSensitivity(s)
+		byGen := map[string][]float64{}
+		for _, r := range rows {
+			byGen[r.Gen] = append(byGen[r.Gen], r.Speedup)
+		}
+		avg := func(g string) float64 {
+			t := 0.0
+			for _, x := range byGen[g] {
+				t += x
+			}
+			return t / float64(len(byGen[g]))
+		}
+		b.ReportMetric(avg("Gen3x4 (paper)"), "gen3_reuse_speedup_x")
+		b.ReportMetric(avg("near-memory"), "near_memory_reuse_speedup_x")
+		counts, _ := exp.SSDCountSweep(s)
+		var one, four float64
+		var n1, n4 int
+		for _, r := range counts {
+			if r.Drives == 1 {
+				one += r.Speedup
+				n1++
+			}
+			if r.Drives == 4 {
+				four += r.Speedup
+				n4++
+			}
+		}
+		b.ReportMetric(one/float64(n1), "one_drive_reuse_speedup_x")
+		b.ReportMetric(four/float64(n4), "four_drive_reuse_speedup_x")
+	}
+}
+
+// Ablation: §2's up-path bypass vs staging SSD fills through Tier-2.
+func BenchmarkAblationUpPathBypass(b *testing.B) {
+	scale := benchScale()
+	srad := workload.NewSrad(scale)
+	trace := srad.Trace()
+	for i := 0; i < b.N; i++ {
+		bypass := core.DefaultConfig()
+		bypass.Policy = core.PolicyReuse
+		bypass.Tier1Pages = scale.Tier1Pages
+		bypass.Tier2Pages = scale.Tier2Pages
+		staged := bypass
+		staged.UpPathThroughTier2 = true
+		// Few warps: the extra per-fill hop latency cannot hide behind
+		// massive access parallelism.
+		tB := runCoreWarps(bypass, trace, 16)
+		tS := runCoreWarps(staged, trace, 16)
+		b.ReportMetric(float64(tS)/float64(tB), "staging_slowdown_x")
+	}
+}
+
+// Ablation: §2.2's backfill heuristic on a pure cyclic scan (Hotspot).
+func BenchmarkAblationBackfill(b *testing.B) {
+	scale := benchScale()
+	hotspot := workload.NewHotspot(scale)
+	trace := hotspot.Trace()
+	pub := make([]Access, len(trace))
+	for i, a := range trace {
+		pub[i] = Access{Page: int64(a.Page), Write: a.Write}
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = Reuse
+	cfg.Tier1Pages = scale.Tier1Pages
+	cfg.Tier2Pages = scale.Tier2Pages
+	for i := 0; i < b.N; i++ {
+		on := RunTrace(cfg, "hotspot", pub)
+		off := cfg
+		off.BackfillThreshold = 2
+		offRes := RunTrace(off, "hotspot", pub)
+		b.ReportMetric(float64(offRes.WallTime)/float64(on.WallTime), "backfill_gain_x")
+	}
+}
+
+// Ablation: forced transfer mechanisms vs Hybrid-32T on a
+// Tier-2-friendly app (Srad).
+func BenchmarkAblationTransferMode(b *testing.B) {
+	scale := benchScale()
+	srad := workload.NewSrad(scale)
+	trace := srad.Trace()
+	run := func(mode xfer.Mode) float64 {
+		cfg := core.DefaultConfig()
+		cfg.Policy = core.PolicyReuse
+		cfg.Tier1Pages = scale.Tier1Pages
+		cfg.Tier2Pages = scale.Tier2Pages
+		cfg.Transfer.Mode = mode
+		return float64(runCore(cfg, trace))
+	}
+	for i := 0; i < b.N; i++ {
+		hybrid := run(xfer.ModeHybrid)
+		dma := run(xfer.ModeDMA)
+		zc := run(xfer.ModeZeroCopy)
+		b.ReportMetric(dma/hybrid, "hybrid_vs_dma_x")
+		b.ReportMetric(zc/hybrid, "hybrid_vs_zerocopy_x")
+	}
+}
+
+// Ablation: sampling budget sensitivity for GMT-Reuse (Backprop).
+func BenchmarkAblationSampleTarget(b *testing.B) {
+	scale := benchScale()
+	bp := workload.NewBackprop(scale)
+	trace := bp.Trace()
+	for i := 0; i < b.N; i++ {
+		var times []float64
+		for _, target := range []int{1000, 20_000, 100_000} {
+			cfg := core.DefaultConfig()
+			cfg.Policy = core.PolicyReuse
+			cfg.Tier1Pages = scale.Tier1Pages
+			cfg.Tier2Pages = scale.Tier2Pages
+			cfg.SampleTarget = target
+			times = append(times, float64(runCore(cfg, trace)))
+		}
+		b.ReportMetric(times[0]/times[1], "tiny_vs_default_sampling_x")
+		b.ReportMetric(times[2]/times[1], "huge_vs_default_sampling_x")
+	}
+}

@@ -1,0 +1,210 @@
+// Command gmtbench regenerates the paper's tables and figures, plus the
+// extension studies. Each experiment prints the same rows/series the
+// paper reports, computed from deterministic simulations.
+//
+// Usage:
+//
+//	gmtbench [flags] [experiment ...]
+//
+// Experiments: table2, fig4, fig6, fig7, fig8, fig9, fig10, fig11,
+// fig12, fig13, fig14, oracle, ext, ssd, predictors, warmup, and all
+// (the default).
+//
+// Flags:
+//
+//	-t1 N     Tier-1 capacity in 64 KiB pages (default 1024 ≈ paper's 16 GB / 256)
+//	-t2 N     Tier-2 capacity in pages (default 4096)
+//	-osf F    oversubscription factor (default 2)
+//	-quick    quarter-scale run (fast smoke of every experiment)
+//	-json     emit rows as JSON instead of rendered tables
+//	-svg DIR  additionally write SVG figures (fig6, fig8, fig9, fig12,
+//	          fig14, ssd) into DIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/plot"
+	"github.com/gmtsim/gmt/internal/workload"
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+func main() {
+	t1 := flag.Int("t1", 1024, "Tier-1 capacity in 64 KiB pages")
+	t2 := flag.Int("t2", 4096, "Tier-2 capacity in 64 KiB pages")
+	osf := flag.Float64("osf", 2, "oversubscription factor")
+	quick := flag.Bool("quick", false, "quarter-scale fast run")
+	jsonOut := flag.Bool("json", false, "emit rows as JSON")
+	svgDir := flag.String("svg", "", "directory to write SVG figures into")
+	flag.Parse()
+
+	writeSVG := func(name string, f *plot.Figure) {
+		if *svgDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(f.SVG()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	scale := workload.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf}
+	if *quick {
+		scale.Tier1Pages = *t1 / 4
+		scale.Tier2Pages = *t2 / 4
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+
+	var suite *exp.Suite
+	getSuite := func() *exp.Suite {
+		if suite == nil {
+			if !*jsonOut {
+				fmt.Printf("building workload suite (T1=%d pages, T2=%d pages, OSF=%.1f)...\n\n",
+					scale.Tier1Pages, scale.Tier2Pages, scale.Oversubscription)
+			}
+			suite = exp.NewSuite(scale)
+		}
+		return suite
+	}
+
+	// Each experiment yields its typed rows (for -json) and rendered
+	// text.
+	run := map[string]func() (interface{}, string){
+		"table1": func() (interface{}, string) {
+			r, t := exp.Table1(getSuite())
+			return r, t.Render()
+		},
+		"table2": func() (interface{}, string) {
+			r, t := exp.Table2(getSuite())
+			return r, t.Render()
+		},
+		"fig4": func() (interface{}, string) {
+			r, t := exp.Figure4(getSuite())
+			return r, t.Render()
+		},
+		"fig6": func() (interface{}, string) {
+			ra, ta := exp.Figure6a(xfer.DefaultConfig())
+			rb, tb := exp.Figure6b(xfer.DefaultConfig())
+			writeSVG("fig6b", exp.Figure6bSVG(rb))
+			return map[string]interface{}{"a": ra, "b": rb}, ta.Render() + "\n" + tb.Render()
+		},
+		"fig7": func() (interface{}, string) {
+			r, t := exp.Figure7(getSuite())
+			return r, t.Render()
+		},
+		"fig8": func() (interface{}, string) {
+			r, t := exp.Figure8(getSuite())
+			writeSVG("fig8a", exp.Figure8SVG(r))
+			return r, t.Render()
+		},
+		"fig9": func() (interface{}, string) {
+			r, t := exp.Figure9(getSuite())
+			writeSVG("fig9", exp.Figure9SVG(r))
+			return r, t.Render()
+		},
+		"fig10": func() (interface{}, string) {
+			r, t := exp.Figure10(getSuite())
+			return r, t.Render()
+		},
+		"fig11": func() (interface{}, string) {
+			r, t := exp.Figure11(scale)
+			return r, t.Render()
+		},
+		"fig12": func() (interface{}, string) {
+			r, t := exp.Figure12(scale)
+			writeSVG("fig12", exp.Figure12SVG(r))
+			return r, t.Render()
+		},
+		"fig13": func() (interface{}, string) {
+			r, t := exp.Figure13(scale)
+			return r, t.Render()
+		},
+		"fig14": func() (interface{}, string) {
+			r, t := exp.Figure14(getSuite())
+			writeSVG("fig14", exp.Figure14SVG(r))
+			return r, t.Render()
+		},
+		"oracle": func() (interface{}, string) {
+			r, t := exp.OracleGap(getSuite())
+			return r, t.Render()
+		},
+		"ext": func() (interface{}, string) {
+			r, t := exp.Extensions(getSuite())
+			return r, t.Render()
+		},
+		"ssd": func() (interface{}, string) {
+			rows, t := exp.SSDSensitivity(getSuite())
+			counts, t2 := exp.SSDCountSweep(getSuite())
+			writeSVG("ssd", exp.SSDSensitivitySVG(rows))
+			text := t.Render() + "\n" + exp.SSDScalingChart(rows) + "\n" + t2.Render()
+			return map[string]interface{}{"generations": rows, "drives": counts}, text
+		},
+		"predictors": func() (interface{}, string) {
+			r, t := exp.PredictorAblation(getSuite())
+			return r, t.Render()
+		},
+		"warmup": func() (interface{}, string) {
+			r, t := exp.RegressionWarmup(getSuite())
+			return r, t.Render()
+		},
+		"util": func() (interface{}, string) {
+			r, t := exp.Utilization(getSuite())
+			return r, t.Render()
+		},
+	}
+	order := []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "oracle", "ext", "ssd",
+		"predictors", "warmup", "util"}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	execute := func(name string, fn func() (interface{}, string)) {
+		start := time.Now()
+		rows, text := fn()
+		if *jsonOut {
+			if err := enc.Encode(map[string]interface{}{
+				"experiment": name,
+				"rows":       rows,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(text)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, name := range experiments {
+		if name == "all" {
+			for _, n := range order {
+				execute(n, run[n])
+			}
+			continue
+		}
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v or 'all'\n", name, order)
+			os.Exit(2)
+		}
+		execute(name, fn)
+	}
+}

@@ -1,0 +1,154 @@
+// Command gmttrace inspects the workload generators: it prints each
+// application's characteristics (Table 2 / Figure 7 view) and,
+// optionally, the head of its access trace.
+//
+// Usage:
+//
+//	gmttrace [flags] [app ...]
+//
+// Flags:
+//
+//	-t1, -t2   tier capacities in pages
+//	-osf F     oversubscription factor
+//	-head N    print the first N accesses of each selected app
+//	-out FILE  write the selected app's trace in gmt-trace format
+//	           (exactly one app must be selected)
+//	-file F    analyze a gmt-trace file instead of the built-in apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gmtsim/gmt"
+)
+
+func main() {
+	t1 := flag.Int("t1", 1024, "Tier-1 pages")
+	t2 := flag.Int("t2", 4096, "Tier-2 pages")
+	osf := flag.Float64("osf", 2, "oversubscription factor")
+	head := flag.Int("head", 0, "print the first N accesses")
+	out := flag.String("out", "", "write the selected app's trace to this file")
+	file := flag.String("file", "", "analyze a gmt-trace file")
+	flag.Parse()
+
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trace, err := gmt.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scale := gmt.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf}
+		w := &fileWorkload{name: *file, trace: trace}
+		c := gmt.Analyze(w, scale)
+		fmt.Printf("%-20s %10s %10s %8s   %s\n", "trace", "pages", "accesses", "reuse%", "eviction RRD T1/T2/T3")
+		fmt.Printf("%-20s %10d %10d %7.1f%%   %.2f / %.2f / %.2f\n",
+			*file, w.Pages(), c.Accesses, 100*c.ReusePct,
+			c.EvictTier1, c.EvictTier2, c.EvictTier3)
+		return
+	}
+
+	if *out != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "-out requires exactly one app argument")
+			os.Exit(2)
+		}
+		scale := gmt.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf}
+		for _, w := range gmt.Suite(scale) {
+			if !strings.EqualFold(w.Name(), flag.Arg(0)) {
+				continue
+			}
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tr := w.Trace()
+			if err := gmt.WriteTrace(f, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d accesses of %s to %s\n", len(tr), w.Name(), *out)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	scale := gmt.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf}
+	selected := flag.Args()
+	match := func(name string) bool {
+		if len(selected) == 0 {
+			return true
+		}
+		for _, s := range selected {
+			if strings.EqualFold(s, name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	found := false
+	fmt.Printf("%-15s %10s %10s %8s   %s\n", "app", "pages", "accesses", "reuse%", "eviction RRD T1/T2/T3")
+	for _, w := range gmt.Suite(scale) {
+		if !match(w.Name()) {
+			continue
+		}
+		found = true
+		c := gmt.Analyze(w, scale)
+		fmt.Printf("%-15s %10d %10d %7.1f%%   %.2f / %.2f / %.2f\n",
+			c.App, w.Pages(), c.Accesses, 100*c.ReusePct,
+			c.EvictTier1, c.EvictTier2, c.EvictTier3)
+		if *head > 0 {
+			tr := w.Trace()
+			n := *head
+			if n > len(tr) {
+				n = len(tr)
+			}
+			for i := 0; i < n; i++ {
+				op := "R"
+				if tr[i].Write {
+					op = "W"
+				}
+				fmt.Printf("    %6d  %s page %d\n", i, op, tr[i].Page)
+			}
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "no matching apps; choose from %v\n", gmt.WorkloadNames())
+		os.Exit(2)
+	}
+}
+
+// fileWorkload adapts a loaded trace to gmt.Workload.
+type fileWorkload struct {
+	name  string
+	trace []gmt.Access
+}
+
+func (w *fileWorkload) Name() string { return w.name }
+
+func (w *fileWorkload) Pages() int64 {
+	var max int64 = -1
+	for _, a := range w.trace {
+		if a.Page > max {
+			max = a.Page
+		}
+	}
+	return max + 1
+}
+
+func (w *fileWorkload) Trace() []gmt.Access { return w.trace }

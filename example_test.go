@@ -1,0 +1,69 @@
+package gmt_test
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt"
+)
+
+// Run a small cyclic workload under the 2-tier baseline and GMT-Reuse
+// and compare SSD traffic.
+func ExampleRun() {
+	chase := gmt.NewPointerChase(700, 3, 9)
+
+	cfg := gmt.DefaultConfig()
+	cfg.Tier1Pages = 256
+	cfg.Tier2Pages = 1024
+
+	cfg.Policy = gmt.BaM
+	bam := gmt.Run(cfg, chase)
+	cfg.Policy = gmt.Reuse
+	reuse := gmt.Run(cfg, chase)
+
+	fmt.Printf("accesses: %d\n", bam.Accesses)
+	fmt.Printf("BaM SSD reads: %d\n", bam.SSDReads)
+	fmt.Printf("GMT-Reuse reads fewer pages from SSD: %v\n", reuse.SSDReads < bam.SSDReads)
+	fmt.Printf("GMT-Reuse hits Tier-2: %v\n", reuse.Tier2Hits > 0)
+	// Output:
+	// accesses: 2100
+	// BaM SSD reads: 2100
+	// GMT-Reuse reads fewer pages from SSD: true
+	// GMT-Reuse hits Tier-2: true
+}
+
+// Drive the runtime with a custom trace.
+func ExampleRunTrace() {
+	var trace []gmt.Access
+	for round := 0; round < 3; round++ {
+		for p := int64(0); p < 400; p++ {
+			trace = append(trace, gmt.Access{Page: p, Write: round == 2})
+		}
+	}
+	cfg := gmt.DefaultConfig()
+	cfg.Policy = gmt.Reuse
+	cfg.Tier1Pages = 64
+	cfg.Tier2Pages = 512
+	res := gmt.RunTrace(cfg, "my-kernel", trace)
+	fmt.Printf("app=%s policy=%s accesses=%d\n", res.App, res.Policy, res.Accesses)
+	fmt.Printf("breakdown conserved: %v\n",
+		res.Tier1Hits+res.Tier2Hits+res.SSDFills+res.InFlightJoins == res.Accesses)
+	// Output:
+	// app=my-kernel policy=GMT-Reuse accesses=1200
+	// breakdown conserved: true
+}
+
+// Inspect a workload's reuse characteristics the way the paper's
+// Table 2 / Figure 7 do.
+func ExampleAnalyze() {
+	scale := gmt.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2}
+	for _, w := range gmt.Suite(scale) {
+		if w.Name() != "Hotspot" {
+			continue
+		}
+		c := gmt.Analyze(w, scale)
+		fmt.Printf("%s: all eviction RRDs beyond Tier-1+Tier-2: %v\n",
+			c.App, c.EvictTier3 > 0.99)
+	}
+	// Output:
+	// Hotspot: all eviction RRDs beyond Tier-1+Tier-2: true
+}

@@ -1,0 +1,46 @@
+// Policy comparison under growing memory pressure: sweep the
+// oversubscription factor for one application and print each policy's
+// speedup over BaM — the sensitivity study of the paper's §3.5 as a
+// library user would run it.
+package main
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt"
+)
+
+func main() {
+	const app = "MultiVectorAdd"
+	policies := []gmt.Policy{gmt.TierOrder, gmt.Random, gmt.Reuse}
+
+	fmt.Printf("%s: speedup over BaM vs oversubscription factor\n", app)
+	fmt.Printf("%6s", "OSF")
+	for _, p := range policies {
+		fmt.Printf("  %14s", p)
+	}
+	fmt.Println()
+
+	for _, osf := range []float64{1.5, 2, 3, 4} {
+		scale := gmt.DefaultScale()
+		scale.Oversubscription = osf
+		var w gmt.Workload
+		for _, cand := range gmt.Suite(scale) {
+			if cand.Name() == app {
+				w = cand
+				break
+			}
+		}
+		cfg := gmt.DefaultConfig()
+		cfg.Policy = gmt.BaM
+		base := gmt.Run(cfg, w)
+		fmt.Printf("%6.1f", osf)
+		for _, p := range policies {
+			cfg.Policy = p
+			fmt.Printf("  %13.2fx", gmt.Run(cfg, w).Speedup(base))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nLarger working sets push reuse distances beyond what host memory")
+	fmt.Println("can capture, shrinking (but not erasing) the 3-tier advantage (§3.5).")
+}

@@ -1,0 +1,36 @@
+// Quickstart: run one application under BaM (2-tier) and GMT-Reuse
+// (3-tier) and compare.
+package main
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt"
+)
+
+func main() {
+	scale := gmt.DefaultScale()
+
+	// Pick Srad — an application with heavy Tier-2-range reuse.
+	var srad gmt.Workload
+	for _, w := range gmt.Suite(scale) {
+		if w.Name() == "Srad" {
+			srad = w
+			break
+		}
+	}
+
+	cfg := gmt.DefaultConfig()
+
+	cfg.Policy = gmt.BaM
+	bam := gmt.Run(cfg, srad)
+
+	cfg.Policy = gmt.Reuse
+	reuse := gmt.Run(cfg, srad)
+
+	fmt.Printf("Srad over %d pages (%d accesses)\n", srad.Pages(), bam.Accesses)
+	fmt.Printf("  BaM       : %12v wall, %6d SSD reads\n", bam.WallTime, bam.SSDReads)
+	fmt.Printf("  GMT-Reuse : %12v wall, %6d SSD reads, %5.1f%% Tier-2 hit rate\n",
+		reuse.WallTime, reuse.SSDReads, 100*reuse.Tier2HitRate)
+	fmt.Printf("  speedup   : %.2fx\n", reuse.Speedup(bam))
+}

@@ -1,0 +1,3 @@
+module github.com/gmtsim/gmt
+
+go 1.22

@@ -1,0 +1,369 @@
+// Package baseline implements the CPU-orchestrated 3-tier comparator of
+// the paper's §3.6: Linux HMM extending UVM through the host page cache.
+//
+// The architectural difference from GMT is who orchestrates: every GPU
+// demand fault traps to the host, where a small pool of driver fault
+// handlers (UVM services a GPU's fault buffer with very limited
+// parallelism) performs the lookup, the SSD I/O through the kernel page
+// cache, and the host-programmed DMA to GPU memory — all while holding
+// the handler. Hundreds of concurrently faulting warps therefore
+// serialize behind a few host threads, which is exactly the bottleneck
+// BaM (and GMT) demonstrate against.
+//
+// The package also provides the "optimistic HMM" of §3.6: HMM granted
+// GMT-Reuse's Tier-2 hit rate, with its I/O time lowered accordingly.
+package baseline
+
+import (
+	"math/rand"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/nvme"
+	"github.com/gmtsim/gmt/internal/pcie"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// HMMConfig parameterizes the CPU-orchestrated manager.
+type HMMConfig struct {
+	Tier1Pages     int
+	PageCachePages int // host page cache capacity (the Tier-2 analogue)
+	PageSize       int64
+
+	// FaultHandlers is the host-side fault service parallelism; the UVM
+	// driver processes a GPU's fault buffer nearly serially.
+	FaultHandlers int
+	// PrefetchBlock enables UVM's density-based block prefetcher
+	// (NVIDIA's oversubscription tuning, paper ref [12]): a fault
+	// migrates the whole aligned block of this many pages in one
+	// service, amortizing the fault overhead across neighbors. Zero or
+	// one disables it.
+	PrefetchBlock int
+	// FaultOverhead is the host CPU work per fault (fault buffer
+	// processing, page table + TLB maintenance).
+	FaultOverhead sim.Time
+	// DMALaunch is the host cost to program one DMA copy.
+	DMALaunch sim.Time
+
+	HostLanes int
+	SSD       nvme.Config
+
+	// ForcedHitRate, when in [0,1], overrides page-cache membership with
+	// a coin of that bias — the §3.6 "optimistic HMM" device. Negative
+	// disables it.
+	ForcedHitRate float64
+	Seed          int64
+}
+
+// DefaultHMMConfig mirrors the paper's platform.
+func DefaultHMMConfig() HMMConfig {
+	return HMMConfig{
+		Tier1Pages:     1024,
+		PageCachePages: 4096,
+		PageSize:       64 * 1024,
+		FaultHandlers:  2,
+		FaultOverhead:  30 * sim.Microsecond,
+		DMALaunch:      10 * sim.Microsecond,
+		HostLanes:      16,
+		SSD:            nvme.DefaultConfig(),
+		ForcedHitRate:  -1,
+		Seed:           1,
+	}
+}
+
+type hmmLoc uint8
+
+const (
+	hmmSSD hmmLoc = iota
+	hmmTier1
+	hmmInFlight
+)
+
+type hmmPage struct {
+	loc          hmmLoc
+	dirty        bool
+	pendingDirty bool
+	cached       bool // resident in the host page cache (inclusive)
+	cacheDirty   bool
+	waiters      []func()
+}
+
+// HMM is the CPU-orchestrated 3-tier memory manager.
+type HMM struct {
+	eng      *sim.Engine
+	cfg      HMMConfig
+	ssd      *nvme.Disk
+	link     *pcie.Link
+	handlers *sim.Server
+	dma      *sim.Server
+
+	t1    *tier.Clock
+	cache *tier.Clock // host page cache, LRU-approximated by clock
+
+	pages    map[tier.PageID]*hmmPage
+	reserved int
+	rng      *rand.Rand
+
+	m stats.Run
+}
+
+var _ gpu.MemoryManager = (*HMM)(nil)
+
+// NewHMM builds the manager and its devices on eng.
+func NewHMM(eng *sim.Engine, cfg HMMConfig) *HMM {
+	if cfg.Tier1Pages < 1 || cfg.PageCachePages < 1 {
+		panic("baseline: tier capacities must be >= 1")
+	}
+	h := &HMM{
+		eng:      eng,
+		cfg:      cfg,
+		ssd:      nvme.New(eng, cfg.SSD),
+		link:     pcie.NewLink(eng, cfg.HostLanes),
+		handlers: sim.NewServer(eng, cfg.FaultHandlers),
+		dma:      sim.NewServer(eng, 1),
+		t1:       tier.NewClock(cfg.Tier1Pages),
+		cache:    tier.NewClock(cfg.PageCachePages),
+		pages:    make(map[tier.PageID]*hmmPage),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	h.m.Policy = "HMM"
+	if cfg.ForcedHitRate >= 0 {
+		h.m.Policy = "HMM-optimistic"
+	}
+	return h
+}
+
+// SSD exposes the simulated drive.
+func (h *HMM) SSD() *nvme.Disk { return h.ssd }
+
+func (h *HMM) page(p tier.PageID) *hmmPage {
+	ps, ok := h.pages[p]
+	if !ok {
+		ps = &hmmPage{loc: hmmSSD}
+		h.pages[p] = ps
+	}
+	return ps
+}
+
+// Access implements gpu.MemoryManager.
+func (h *HMM) Access(a gpu.Access, done func()) {
+	h.m.Accesses++
+	ps := h.page(a.Page)
+	switch ps.loc {
+	case hmmTier1:
+		h.m.Tier1Hits++
+		h.t1.Touch(a.Page)
+		if a.Write {
+			ps.dirty = true
+		}
+		done()
+	case hmmInFlight:
+		h.m.InFlightJoins++
+		if a.Write {
+			ps.pendingDirty = true
+		}
+		ps.waiters = append(ps.waiters, done)
+	case hmmSSD:
+		ps.loc = hmmInFlight
+		if a.Write {
+			ps.pendingDirty = true
+		}
+		ps.waiters = append(ps.waiters, done)
+		h.fault(a.Page, ps)
+	}
+}
+
+// fault is the host-side service path. The handler is held from fault
+// receipt until the migration is mapped on the GPU — the serialization
+// that makes CPU orchestration unable to feed a GPU's parallelism. With
+// PrefetchBlock set, the whole aligned block migrates in one service
+// (UVM's density prefetcher): one fault overhead amortized across
+// members, but the handler is held until the full block lands.
+func (h *HMM) fault(p tier.PageID, ps *hmmPage) {
+	h.handlers.Acquire(func() {
+		h.eng.After(h.cfg.FaultOverhead, func() {
+			members := h.blockMembers(p)
+			remaining := len(members)
+			memberDone := func() {
+				remaining--
+				if remaining == 0 {
+					h.handlers.Release()
+				}
+			}
+			for i, q := range members {
+				h.servePage(q, h.page(q), i == 0, memberDone)
+			}
+		})
+	})
+}
+
+// blockMembers selects the demanded page plus SSD-resident neighbors of
+// its aligned block that fit in free Tier-1 capacity.
+func (h *HMM) blockMembers(p tier.PageID) []tier.PageID {
+	members := []tier.PageID{p}
+	if h.cfg.PrefetchBlock <= 1 {
+		return members
+	}
+	b := tier.PageID(h.cfg.PrefetchBlock)
+	base := p - p%b
+	for q := base; q < base+b; q++ {
+		if q == p {
+			continue
+		}
+		qs := h.page(q)
+		if qs.loc != hmmSSD {
+			continue
+		}
+		if h.t1.Len()+h.reserved+len(members) >= h.t1.Capacity() {
+			break // never evict for speculation
+		}
+		qs.loc = hmmInFlight
+		members = append(members, q)
+		h.m.Prefetches++
+	}
+	return members
+}
+
+// servePage migrates one page to the GPU: from the host page cache if
+// present, else through the drive. Only demanded pages enter the
+// hit/fill access breakdown; speculative block members are tallied as
+// prefetches.
+func (h *HMM) servePage(p tier.PageID, ps *hmmPage, demand bool, done func()) {
+	h.makeRoom()
+	h.reserved++
+	if h.cacheHit(ps) {
+		if demand {
+			h.m.Tier2Hits++
+		}
+		h.copyToGPU(p, ps, done)
+		return
+	}
+	if demand {
+		h.m.SSDFills++
+	}
+	h.ssd.Read(int64(p), h.cfg.PageSize, func(nvme.Completion) {
+		h.insertCache(p, ps)
+		h.copyToGPU(p, ps, done)
+	})
+}
+
+func (h *HMM) cacheHit(ps *hmmPage) bool {
+	if h.cfg.ForcedHitRate >= 0 {
+		return h.rng.Float64() < h.cfg.ForcedHitRate
+	}
+	return ps.cached
+}
+
+// insertCache records the page in the (inclusive) host page cache,
+// evicting under clock if full.
+func (h *HMM) insertCache(p tier.PageID, ps *hmmPage) {
+	if ps.cached {
+		h.cache.Touch(p)
+		return
+	}
+	if h.cache.Full() {
+		v := h.cache.Victim()
+		h.cache.Remove(v)
+		vps := h.pages[v]
+		vps.cached = false
+		h.m.Tier2Evictions++
+		if vps.cacheDirty {
+			vps.cacheDirty = false
+			h.ssd.Write(int64(v), h.cfg.PageSize, nil)
+		}
+	}
+	h.cache.Insert(p)
+	ps.cached = true
+}
+
+// copyToGPU programs the host DMA engine and streams the page down.
+func (h *HMM) copyToGPU(p tier.PageID, ps *hmmPage, done func()) {
+	h.dma.Acquire(func() {
+		h.eng.After(h.cfg.DMALaunch, func() {
+			h.dma.Release()
+			h.link.Down.Transfer(h.cfg.PageSize, func() {
+				h.m.PagesToGPU++
+				h.install(p, ps)
+				done()
+			})
+		})
+	})
+}
+
+func (h *HMM) install(p tier.PageID, ps *hmmPage) {
+	h.reserved--
+	h.t1.Insert(p)
+	ps.loc = hmmTier1
+	ps.dirty = ps.pendingDirty
+	ps.pendingDirty = false
+	waiters := ps.waiters
+	ps.waiters = nil
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// makeRoom evicts a Tier-1 victim if needed. Victims migrate back to the
+// host: dirty data crosses the link and dirties the page cache copy;
+// clean pages are simply unmapped (their cache or SSD copy is current).
+func (h *HMM) makeRoom() {
+	if h.t1.Len()+h.reserved < h.t1.Capacity() {
+		return
+	}
+	if h.t1.Len() == 0 {
+		panic("baseline: Tier-1 exhausted by reservations")
+	}
+	v := h.t1.Victim()
+	h.t1.Remove(v)
+	vps := h.pages[v]
+	vps.loc = hmmSSD
+	if vps.dirty {
+		vps.dirty = false
+		h.m.EvictionsToTier2++
+		h.m.PagesToHost++
+		h.link.Up.Transfer(h.cfg.PageSize, nil)
+		if !vps.cached {
+			h.insertCache(v, vps)
+		}
+		vps.cacheDirty = true
+	} else {
+		h.m.EvictionsDropped++
+	}
+}
+
+// Snapshot reports run metrics.
+func (h *HMM) Snapshot() stats.Run {
+	m := h.m
+	ds := h.ssd.Stats()
+	m.SSDReads = ds.Reads
+	m.SSDWrites = ds.Writes // authoritative drive counter
+	m.SSDReadBytes = ds.ReadBytes
+	m.SSDWriteBytes = ds.WriteBytes
+	return m
+}
+
+// CheckInvariants panics on inconsistent residency accounting.
+func (h *HMM) CheckInvariants() {
+	t1n, cached, inflight := 0, 0, 0
+	for p, ps := range h.pages {
+		if ps.loc == hmmTier1 {
+			t1n++
+			if !h.t1.Contains(p) {
+				panic("baseline: Tier-1 accounting mismatch")
+			}
+		}
+		if ps.loc == hmmInFlight {
+			inflight++
+		}
+		if ps.cached {
+			cached++
+			if !h.cache.Contains(p) {
+				panic("baseline: page cache accounting mismatch")
+			}
+		}
+	}
+	if t1n != h.t1.Len() || cached != h.cache.Len() || inflight != h.reserved {
+		panic("baseline: residency counters disagree")
+	}
+}

@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+func seqTrace(n, pages int) []gpu.Access {
+	tr := make([]gpu.Access, n)
+	for i := range tr {
+		tr[i] = gpu.Access{Page: tier.PageID(i % pages)}
+	}
+	return tr
+}
+
+func smallHMM() HMMConfig {
+	cfg := DefaultHMMConfig()
+	cfg.Tier1Pages = 32
+	cfg.PageCachePages = 128
+	return cfg
+}
+
+func runHMM(t *testing.T, cfg HMMConfig, trace []gpu.Access, warps int) (*HMM, sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine()
+	h := NewHMM(eng, cfg)
+	g := gpu.New(eng, gpu.Config{Warps: warps, ComputePerAccess: 200}, &gpu.SliceStream{Trace: trace}, h)
+	g.Launch()
+	eng.Run()
+	if !g.Done() {
+		t.Fatal("kernel did not finish")
+	}
+	h.CheckInvariants()
+	return h, eng.Now()
+}
+
+func runBaM(t *testing.T, trace []gpu.Access, warps int) (stats.Run, sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyBaM
+	cfg.Tier1Pages = 32
+	rt := core.NewRuntime(eng, cfg)
+	g := gpu.New(eng, gpu.Config{Warps: warps, ComputePerAccess: 200}, &gpu.SliceStream{Trace: trace}, rt)
+	g.Launch()
+	eng.Run()
+	return rt.Snapshot(), eng.Now()
+}
+
+func TestHMMAccountingAddsUp(t *testing.T) {
+	h, _ := runHMM(t, smallHMM(), seqTrace(5000, 200), 8)
+	m := h.Snapshot()
+	if m.Tier1Hits+m.Tier2Hits+m.SSDFills+m.InFlightJoins != m.Accesses {
+		t.Fatalf("breakdown does not add up: %+v", m)
+	}
+}
+
+func TestHMMPageCacheHits(t *testing.T) {
+	// Working set 100 pages > Tier-1 (32) but < page cache (128): later
+	// cycles must be served by the page cache, not the drive.
+	h, _ := runHMM(t, smallHMM(), seqTrace(20_000, 100), 8)
+	m := h.Snapshot()
+	if m.Tier2Hits == 0 {
+		t.Fatal("page cache never hit")
+	}
+	if m.SSDReads > 2*100 {
+		t.Fatalf("SSD reads = %d; inclusive page cache not retaining", m.SSDReads)
+	}
+}
+
+func TestHMMSlowerThanBaM(t *testing.T) {
+	// Figure 14: despite its Tier-2 leverage, CPU-orchestrated HMM loses
+	// to GPU-orchestrated BaM under parallel demand misses.
+	trace := seqTrace(20_000, 400) // streaming, beyond both caches
+	_, tBam := runBaM(t, trace, 64)
+	_, tHMM := runHMM(t, smallHMM(), trace, 64)
+	if tHMM <= tBam {
+		t.Fatalf("HMM (%dms) not slower than BaM (%dms)",
+			tHMM/sim.Millisecond, tBam/sim.Millisecond)
+	}
+	ratio := float64(tBam) / float64(tHMM)
+	if ratio > 0.75 {
+		t.Fatalf("HMM at %.2fx of BaM; want the paper's clear gap (<0.75x)", ratio)
+	}
+}
+
+func TestHMMHandlerSerialization(t *testing.T) {
+	// Halving handler parallelism must not speed anything up, and a
+	// larger pool must help: the bottleneck is the host.
+	trace := seqTrace(5000, 400)
+	one := smallHMM()
+	one.FaultHandlers = 1
+	_, t1 := runHMM(t, one, trace, 64)
+	eight := smallHMM()
+	eight.FaultHandlers = 8
+	_, t8 := runHMM(t, eight, trace, 64)
+	if t8 >= t1 {
+		t.Fatalf("8 handlers (%d) not faster than 1 (%d): host not the bottleneck", t8, t1)
+	}
+}
+
+func TestHMMDirtyWriteback(t *testing.T) {
+	trace := make([]gpu.Access, 4000)
+	for i := range trace {
+		trace[i] = gpu.Access{Page: tier.PageID(i % 300), Write: true}
+	}
+	h, _ := runHMM(t, smallHMM(), trace, 8)
+	m := h.Snapshot()
+	if m.PagesToHost == 0 {
+		t.Fatal("dirty Tier-1 victims never migrated to host")
+	}
+	if m.SSDWrites == 0 {
+		t.Fatal("dirty page-cache evictions never hit the drive")
+	}
+}
+
+func TestHMMOptimisticForcedHitRate(t *testing.T) {
+	trace := seqTrace(20_000, 400)
+	real := smallHMM()
+	_, tReal := runHMM(t, real, trace, 32)
+	opt := smallHMM()
+	opt.ForcedHitRate = 0.9
+	h, tOpt := runHMM(t, opt, trace, 32)
+	if h.Snapshot().Policy != "HMM-optimistic" {
+		t.Fatalf("policy label = %q", h.Snapshot().Policy)
+	}
+	if tOpt >= tReal {
+		t.Fatalf("optimistic HMM (%d) not faster than real HMM (%d)", tOpt, tReal)
+	}
+	if hr := h.Snapshot().Tier2HitRate(); hr < 0.85 || hr > 0.95 {
+		t.Fatalf("forced hit rate delivered %.2f, want ≈0.9", hr)
+	}
+}
+
+func TestHMMInFlightCoalescing(t *testing.T) {
+	trace := make([]gpu.Access, 64)
+	for i := range trace {
+		trace[i] = gpu.Access{Page: 3}
+	}
+	h, _ := runHMM(t, smallHMM(), trace, 64)
+	if h.Snapshot().SSDReads != 1 {
+		t.Fatalf("SSD reads = %d, want 1", h.Snapshot().SSDReads)
+	}
+}
+
+func TestHMMDeterminism(t *testing.T) {
+	trace := seqTrace(8000, 300)
+	_, a := runHMM(t, smallHMM(), trace, 16)
+	_, b := runHMM(t, smallHMM(), trace, 16)
+	if a != b {
+		t.Fatalf("runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestHMMBlockPrefetchHelpsSequential(t *testing.T) {
+	// UVM's density prefetcher (paper ref [12]) amortizes the fault
+	// overhead over whole blocks on sequential scans.
+	// Few warps: with many warps every block member is demand-faulted
+	// before the prefetcher can claim it.
+	trace := seqTrace(3000, 3000)
+	plain := smallHMM()
+	_, tPlain := runHMM(t, plain, trace, 2)
+	pf := smallHMM()
+	pf.PrefetchBlock = 8
+	h, tPf := runHMM(t, pf, trace, 2)
+	if h.Snapshot().Prefetches == 0 {
+		t.Fatal("no block prefetches issued")
+	}
+	if tPf >= tPlain {
+		t.Fatalf("block prefetch (%dms) not faster than plain (%dms) on a scan",
+			tPf/sim.Millisecond, tPlain/sim.Millisecond)
+	}
+	// Accounting identity must survive speculation.
+	m := h.Snapshot()
+	if m.Tier1Hits+m.Tier2Hits+m.SSDFills+m.InFlightJoins != m.Accesses {
+		t.Fatalf("breakdown broken with prefetch: %+v", m)
+	}
+}
+
+func TestHMMBlockPrefetchStillLosesToBaM(t *testing.T) {
+	// Even with the prefetcher, the host orchestration bottleneck keeps
+	// HMM behind GPU-orchestrated BaM on parallel irregular misses —
+	// the paper's core argument survives UVM tuning.
+	trace := seqTrace(20_000, 400)
+	_, tBam := runBaM(t, trace, 64)
+	pf := smallHMM()
+	pf.PrefetchBlock = 8
+	_, tHMM := runHMM(t, pf, trace, 64)
+	if tHMM <= tBam {
+		t.Fatalf("prefetching HMM (%dms) beat BaM (%dms)",
+			tHMM/sim.Millisecond, tBam/sim.Millisecond)
+	}
+}
+
+func TestHMMAccessors(t *testing.T) {
+	h := NewHMM(sim.NewEngine(), smallHMM())
+	if h.SSD() == nil {
+		t.Fatal("SSD accessor nil")
+	}
+	if h.SSD().Stats().Reads != 0 {
+		t.Fatal("fresh drive has reads")
+	}
+}
+
+func TestHMMConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	cfg := DefaultHMMConfig()
+	cfg.Tier1Pages = 0
+	NewHMM(sim.NewEngine(), cfg)
+}

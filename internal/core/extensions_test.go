@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// futureOf extracts the page sequence PolicyOracle needs.
+func futureOf(trace []gpu.Access) []tier.PageID {
+	f := make([]tier.PageID, len(trace))
+	for i, a := range trace {
+		f[i] = a.Page
+	}
+	return f
+}
+
+func oracleConfig(trace []gpu.Access) Config {
+	cfg := smallConfig(PolicyOracle)
+	cfg.Future = futureOf(trace)
+	return cfg
+}
+
+func TestOracleRequiresFuture(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PolicyOracle without Future did not panic")
+		}
+	}()
+	NewRuntime(sim.NewEngine(), smallConfig(PolicyOracle))
+}
+
+func TestOracleBeatsOrMatchesAllPolicies(t *testing.T) {
+	// On a mixed workload (cyclic reuse + streaming) perfect future
+	// knowledge must be at least as fast as every online policy.
+	var trace []gpu.Access
+	stream := tier.PageID(10_000)
+	for round := 0; round < 30; round++ {
+		for p := tier.PageID(0); p < 120; p++ {
+			trace = append(trace, gpu.Access{Page: p})
+		}
+		for s := 0; s < 60; s++ { // interleaved dead stream
+			trace = append(trace, gpu.Access{Page: stream})
+			stream++
+		}
+	}
+	_, tOracle := run(t, oracleConfig(trace), trace, 8)
+	for _, p := range []PolicyKind{PolicyBaM, PolicyTierOrder, PolicyRandom, PolicyReuse} {
+		_, tp := run(t, smallConfig(p), trace, 8)
+		if tOracle > tp+tp/20 { // 5% tolerance for transfer-path noise
+			t.Errorf("oracle (%dµs) slower than %v (%dµs)",
+				tOracle/sim.Microsecond, p, tp/sim.Microsecond)
+		}
+	}
+}
+
+func TestOracleNeverPlacesDeadPages(t *testing.T) {
+	// Pure streaming: every page used once. The oracle must discard
+	// everything and never touch Tier-2.
+	trace := make([]gpu.Access, 2000)
+	for i := range trace {
+		trace[i] = gpu.Access{Page: tier.PageID(i)}
+	}
+	rt, _ := run(t, oracleConfig(trace), trace, 8)
+	m := rt.Snapshot()
+	if m.EvictionsToTier2 != 0 {
+		t.Fatalf("oracle placed %d dead pages in Tier-2", m.EvictionsToTier2)
+	}
+}
+
+func TestOracleEvictsFurthest(t *testing.T) {
+	// Tier-1 of 32: pages 0..31 resident; page 0 is reused soon, page
+	// 31 never again. A miss must evict a dead page, not page 0.
+	var trace []gpu.Access
+	for p := tier.PageID(0); p < 32; p++ {
+		trace = append(trace, gpu.Access{Page: p})
+	}
+	trace = append(trace, gpu.Access{Page: 100}) // miss forces eviction
+	trace = append(trace, gpu.Access{Page: 0})   // page 0 reused
+	rt, _ := run(t, oracleConfig(trace), trace, 1)
+	m := rt.Snapshot()
+	// Page 0 must still be a Tier-1 hit: exactly 33 fills (32 cold + 1).
+	if m.SSDFills != 33 {
+		t.Fatalf("SSD fills = %d, want 33 (page 0 was evicted!)", m.SSDFills)
+	}
+	if m.Tier1Hits != 1 {
+		t.Fatalf("Tier-1 hits = %d, want 1", m.Tier1Hits)
+	}
+}
+
+func TestAsyncEvictionFasterUnderPlacementPressure(t *testing.T) {
+	// TierOrder places every victim; taking placements off the critical
+	// path (§5 future work) must help a placement-heavy workload.
+	trace := seqTrace(20_000, 100)
+	sync := smallConfig(PolicyTierOrder)
+	_, tSync := run(t, sync, trace, 8)
+	async := sync
+	async.AsyncEviction = true
+	rt, tAsync := run(t, async, trace, 8)
+	rt.CheckInvariants()
+	if tAsync >= tSync {
+		t.Fatalf("async eviction (%dµs) not faster than sync (%dµs)",
+			tAsync/sim.Microsecond, tSync/sim.Microsecond)
+	}
+}
+
+func TestPrefetchHelpsSequentialStream(t *testing.T) {
+	trace := seqTrace(4000, 4000) // pure sequential scan
+	base := smallConfig(PolicyBaM)
+	_, tBase := run(t, base, trace, 4)
+	pf := base
+	pf.PrefetchDegree = 4
+	rt, tPf := run(t, pf, trace, 4)
+	m := rt.Snapshot()
+	if m.Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if m.PrefetchHits == 0 {
+		t.Fatal("prefetches never hit")
+	}
+	if tPf >= tBase {
+		t.Fatalf("prefetch (%dms) not faster than demand-only (%dms) on a stream",
+			tPf/sim.Millisecond, tBase/sim.Millisecond)
+	}
+	// Usefulness: most prefetches of a pure stream should be demanded.
+	if float64(m.PrefetchHits) < 0.8*float64(m.Prefetches) {
+		t.Fatalf("prefetch hit ratio %d/%d < 0.8", m.PrefetchHits, m.Prefetches)
+	}
+}
+
+func TestPrefetchNeverEvicts(t *testing.T) {
+	// A hot working set exactly filling Tier-1 plus a cold stream:
+	// prefetching the stream must not displace hot pages once Tier-1
+	// is full — hits on the hot set must match the no-prefetch run.
+	var trace []gpu.Access
+	for round := 0; round < 50; round++ {
+		for p := tier.PageID(0); p < 28; p++ { // hot set < Tier1Pages(32)
+			trace = append(trace, gpu.Access{Page: p})
+		}
+		trace = append(trace, gpu.Access{Page: tier.PageID(1000 + round)})
+	}
+	cfg := smallConfig(PolicyBaM)
+	cfg.PrefetchDegree = 8
+	rt, _ := run(t, cfg, trace, 1)
+	m := rt.Snapshot()
+	// 28 hot pages cold-fill once then always hit; stream pages fill.
+	wantHits := int64(50*28 - 28)
+	if m.Tier1Hits < wantHits {
+		t.Fatalf("hot-set hits = %d, want >= %d (prefetch evicted hot pages)",
+			m.Tier1Hits, wantHits)
+	}
+}
+
+func TestUpPathBypassAblation(t *testing.T) {
+	// Staging SSD fills through Tier-2 must be slower than the paper's
+	// bypass on a fill-heavy workload, and must churn Tier-2.
+	trace := seqTrace(20_000, 500)
+	bypass := smallConfig(PolicyReuse)
+	_, tBypass := run(t, bypass, trace, 8)
+	staged := bypass
+	staged.UpPathThroughTier2 = true
+	rt, tStaged := run(t, staged, trace, 8)
+	rt.CheckInvariants()
+	if tStaged <= tBypass {
+		t.Fatalf("up-path staging (%dms) not slower than bypass (%dms)",
+			tStaged/sim.Millisecond, tBypass/sim.Millisecond)
+	}
+}
+
+// TestMarkovBeatsLastClassOnAlternation constructs the Figure 4c
+// situation directly: subject pages whose correct class strictly
+// alternates Medium, Long, Medium, ... between Tier-1 evictions. The
+// 2-level Markov chain learns the alternation; a 1-level last-class
+// predictor is wrong on every subject eviction.
+func TestMarkovBeatsLastClassOnAlternation(t *testing.T) {
+	// smallConfig: Tier-1 = 32, Tier-2 = 128, combined = 160.
+	var trace []gpu.Access
+	stream := tier.PageID(100_000)
+	for round := 0; round < 40; round++ {
+		for s := tier.PageID(0); s < 16; s++ { // subjects
+			trace = append(trace, gpu.Access{Page: s})
+		}
+		for f := tier.PageID(1000); f < 1080; f++ { // fixed fillers: ~95-distinct gap -> Medium
+			trace = append(trace, gpu.Access{Page: f})
+		}
+		for s := tier.PageID(0); s < 16; s++ {
+			trace = append(trace, gpu.Access{Page: s})
+		}
+		for i := 0; i < 300; i++ { // fresh stream: ~300-distinct gap -> Long
+			trace = append(trace, gpu.Access{Page: stream})
+			stream++
+		}
+	}
+	accuracy := func(pk PredictorKind) float64 {
+		cfg := smallConfig(PolicyReuse)
+		cfg.Predictor = pk
+		rt, _ := run(t, cfg, trace, 8)
+		m := rt.Snapshot()
+		if m.Predictions == 0 {
+			t.Fatalf("%v scored no predictions", pk)
+		}
+		return m.PredictionAccuracy()
+	}
+	markov, last := accuracy(PredictorMarkov), accuracy(PredictorLastClass)
+	if markov <= last {
+		t.Fatalf("markov accuracy %.2f <= last-class %.2f on an alternating workload", markov, last)
+	}
+}
+
+func TestPredictorKindStrings(t *testing.T) {
+	if PredictorMarkov.String() != "markov" || PredictorLastClass.String() != "last-class" ||
+		PredictorStatic.String() != "static" || PredictorKind(9).String() != "predictor(9)" {
+		t.Fatal("predictor strings wrong")
+	}
+}
+
+func TestStaticPredictorPlacesEverything(t *testing.T) {
+	cfg := smallConfig(PolicyReuse)
+	cfg.Predictor = PredictorStatic
+	rt, _ := run(t, cfg, seqTrace(10_000, 300), 8)
+	m := rt.Snapshot()
+	// Static predicts Medium always: placements happen whenever Tier-2
+	// has room, and the short-reuse retention loop never fires.
+	if m.EvictionsToTier2 == 0 {
+		t.Fatal("static predictor never placed")
+	}
+	if m.BackfillPlaced != 0 {
+		t.Fatal("static predictor should never reach the Long/backfill path")
+	}
+}
+
+// Stress configurations: degenerate capacities must still complete and
+// conserve accounting.
+func TestDegenerateConfigurations(t *testing.T) {
+	trace := seqTrace(500, 50)
+	cases := []struct {
+		name   string
+		t1, t2 int
+		warps  int
+	}{
+		{"tier1-of-one", 1, 4, 1},
+		{"tier2-of-one", 8, 1, 2},
+		{"warps-exceed-everything", 8, 8, 128},
+		{"huge-tiers", 2048, 8192, 4},
+	}
+	for _, c := range cases {
+		for _, p := range []PolicyKind{PolicyBaM, PolicyTierOrder, PolicyRandom, PolicyReuse} {
+			cfg := smallConfig(p)
+			cfg.Tier1Pages = c.t1
+			cfg.Tier2Pages = c.t2
+			rt, _ := run(t, cfg, trace, c.warps)
+			m := rt.Snapshot()
+			if m.Tier1Hits+m.Tier2Hits+m.SSDFills+m.InFlightJoins != m.Accesses {
+				t.Fatalf("%s/%v: accounting broken", c.name, p)
+			}
+		}
+	}
+}
+
+func TestEmptyTraceCompletes(t *testing.T) {
+	rt, wall := run(t, smallConfig(PolicyReuse), nil, 4)
+	if rt.Snapshot().Accesses != 0 || wall != 0 {
+		t.Fatalf("empty trace produced activity: %+v at %d", rt.Snapshot(), wall)
+	}
+}
+
+func TestHistorySampling(t *testing.T) {
+	cfg := smallConfig(PolicyReuse)
+	cfg.HistorySample = 1000
+	rt, _ := run(t, cfg, seqTrace(10_000, 300), 8)
+	hist := rt.History()
+	if len(hist) != 10 {
+		t.Fatalf("history samples = %d, want 10", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Accesses <= hist[i-1].Accesses {
+			t.Fatal("history not monotone in accesses")
+		}
+		if hist[i].SSDReads < hist[i-1].SSDReads {
+			t.Fatal("history not monotone in SSD reads")
+		}
+	}
+}
+
+func TestUnpipelinedRegressionKnob(t *testing.T) {
+	cfg := smallConfig(PolicyReuse)
+	cfg.UnpipelinedRegression = true
+	rt, _ := run(t, cfg, seqTrace(20_000, 100), 8)
+	m := rt.Snapshot()
+	// End-only publication: exactly one batch once the target is hit.
+	if m.RegressionBatches > 1 {
+		t.Fatalf("unpipelined run published %d batches", m.RegressionBatches)
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	trace := seqTrace(8000, 300)
+	_, a := run(t, oracleConfig(trace), trace, 8)
+	_, b := run(t, oracleConfig(trace), trace, 8)
+	if a != b {
+		t.Fatalf("oracle runs diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "github.com/gmtsim/gmt/internal/tier"
+
+// PolicyOracle: offline Belady-style management with perfect future
+// knowledge, the upper bound GMT-Reuse approximates (§2.1.3: "one
+// should replace the page whose next reference is furthest in the
+// future"). The oracle
+//
+//   - evicts from Tier-1 the resident whose next use is furthest (dead
+//     pages first),
+//   - discards victims that are never used again,
+//   - places returning victims in Tier-2, displacing the Tier-2
+//     resident with the furthest next use when full — but only if the
+//     incoming page returns sooner.
+//
+// Victim selection scans the residents; ties break on page ID so runs
+// stay deterministic regardless of map iteration order.
+
+// oracleEvict selects and places a Tier-1 victim with future knowledge.
+func (rt *Runtime) oracleEvict(ready func()) {
+	victim, vps := rt.furthest(rt.t1)
+	rt.t1.Remove(victim)
+	vps.loc = locSSD
+	if vps.nextUse < 0 {
+		// Dead page: free (or a writeback if dirty).
+		rt.discard(victim, vps)
+		ready()
+		return
+	}
+	if !rt.t2.Full() {
+		rt.placeInTier2(victim, vps, ready)
+		return
+	}
+	t2victim, t2ps := rt.furthest(rt.t2)
+	if t2ps.nextUse >= 0 && t2ps.nextUse <= vps.nextUse {
+		// Everything resident returns sooner: the incoming page is the
+		// least valuable, keep Tier-2 intact.
+		rt.discard(victim, vps)
+		ready()
+		return
+	}
+	rt.t2.Remove(t2victim)
+	rt.m.Tier2Evictions++
+	rt.discard(t2victim, t2ps)
+	rt.placeInTier2Delayed(victim, vps, rt.cfg.Tier2EvictOverhead, ready)
+}
+
+// furthest reports the resident with the furthest next use (dead pages
+// count as infinitely far), breaking ties on the smaller page ID.
+func (rt *Runtime) furthest(store tier.Store) (tier.PageID, *pageState) {
+	best := tier.NoPage
+	var bestPS *pageState
+	var bestUse int64
+	store.Each(func(p tier.PageID) {
+		ps := rt.pages[p]
+		use := ps.nextUse
+		if use < 0 {
+			use = int64(1) << 62 // never used again
+		}
+		switch {
+		case best == tier.NoPage,
+			use > bestUse,
+			use == bestUse && p < best:
+			best, bestPS, bestUse = p, ps, use
+		}
+	})
+	if best == tier.NoPage {
+		panic("core: oracle eviction from empty store")
+	}
+	return best, bestPS
+}

@@ -1,0 +1,948 @@
+// Package core implements GMT, the GPU-orchestrated 3-tier memory
+// runtime of the paper: Tier-1 GPU memory managed by clock replacement,
+// Tier-2 host memory looked up and populated directly by GPU threads, and
+// the Tier-3 SSD reached through GPU-driven NVMe queues.
+//
+// Four placement policies are provided:
+//
+//   - PolicyBaM: the 2-tier baseline (GPU memory + SSD only); Tier-2 is
+//     never consulted. This is the substrate GMT builds on.
+//   - PolicyTierOrder (§2.1.1): every Tier-1 victim goes to Tier-2, with
+//     clock replacement in both tiers.
+//   - PolicyRandom (§2.1.2): a coin flip decides whether a victim goes to
+//     Tier-2 or straight to the SSD (the latter only if dirty).
+//   - PolicyReuse (§2.1.3): the paper's contribution — Remaining Reuse
+//     Distance prediction via VTD sampling + OLS regression + a 3-state
+//     Markov history predictor, with the 80% Tier-2 backfill heuristic of
+//     §2.2.
+//
+// The up-path from SSD always bypasses Tier-2 (§2, "Bypassing").
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/nvme"
+	"github.com/gmtsim/gmt/internal/pcie"
+	"github.com/gmtsim/gmt/internal/reuse"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+// PolicyKind selects the Tier-1 eviction placement policy.
+type PolicyKind uint8
+
+// The policies evaluated in the paper.
+const (
+	PolicyBaM PolicyKind = iota
+	PolicyTierOrder
+	PolicyRandom
+	PolicyReuse
+	// PolicyOracle is an offline upper bound: Belady-style victim
+	// selection and placement using perfect future knowledge (the
+	// policy GMT-Reuse approximates, §2.1.3). Requires Config.Future.
+	PolicyOracle
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyBaM:
+		return "BaM"
+	case PolicyTierOrder:
+		return "GMT-TierOrder"
+	case PolicyRandom:
+		return "GMT-Random"
+	case PolicyReuse:
+		return "GMT-Reuse"
+	case PolicyOracle:
+		return "GMT-Oracle"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// PredictorKind selects how GMT-Reuse predicts a candidate's class.
+type PredictorKind uint8
+
+// Predictor variants for the ablation of Figure 5's design.
+const (
+	// PredictorMarkov is the paper's 3-state Markov chain over the two
+	// most recent correct classes (default).
+	PredictorMarkov PredictorKind = iota
+	// PredictorLastClass is a 1-level history: predict the page's last
+	// correct class. Fails on alternating patterns (Figure 4c).
+	PredictorLastClass
+	// PredictorStatic always predicts Medium: place everything Tier-2
+	// capacity allows, with no learning.
+	PredictorStatic
+)
+
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictorMarkov:
+		return "markov"
+	case PredictorLastClass:
+		return "last-class"
+	case PredictorStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("predictor(%d)", uint8(k))
+	}
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Policy PolicyKind
+
+	// Tier1Pages / Tier2Pages size the top two tiers in 64 KiB pages.
+	// Tier2Pages is ignored under PolicyBaM.
+	Tier1Pages int
+	Tier2Pages int
+	PageSize   int64
+
+	// Seed drives all randomized decisions (PolicyRandom's coin, the
+	// Reuse policy's no-history fallback).
+	Seed int64
+
+	// Tier2Lookup is the critical-path cost of probing the Tier-2
+	// directory on a Tier-1 miss (§3.4: ≈50 ns).
+	Tier2Lookup sim.Time
+	// Tier2EvictOverhead is the cost of running a replacement pass over
+	// host-resident Tier-2 metadata (§2.1.1 drawback (iii): "the
+	// additional cost of a replacement mechanism for host memory").
+	// Paid by TierOrder/Random when displacing a Tier-2 resident;
+	// GMT-Reuse never evicts Tier-2 (§2.1.3).
+	Tier2EvictOverhead sim.Time
+	// HostSWOverhead is the GPU-side software cost of a Tier-2 hit
+	// beyond the raw transfer (pin bookkeeping, directory update);
+	// calibrated so an unloaded Tier-2 hit costs ≈50 µs end to end.
+	HostSWOverhead sim.Time
+
+	// SampleTarget / SampleBatch configure the VTD sampling pipeline
+	// (§2.1.3: pipelined batches, default every 10 000 samples).
+	SampleTarget int
+	SampleBatch  int
+
+	// BackfillThreshold / BackfillWindow implement §2.2's heuristic: if
+	// more than the threshold fraction of the last window Tier-1
+	// evictions were classified Long, place victims into Tier-2 anyway.
+	// Threshold > 1 disables the heuristic (ablation).
+	BackfillThreshold float64
+	BackfillWindow    int
+
+	// MaxClockRetries bounds how many consecutive short-reuse clock
+	// candidates GMT-Reuse may retain before evicting anyway.
+	MaxClockRetries int
+
+	// Predictor selects GMT-Reuse's class predictor (ablation of
+	// §2.1.3's "a simple 2-level history suffices").
+	Predictor PredictorKind
+
+	// UnpipelinedRegression is the §2.1.3 strawman: regression
+	// coefficients publish only once the full sample target is
+	// collected, instead of refining every batch. The paper chose
+	// pipelining because it "results in better placement for the early
+	// part of the execution".
+	UnpipelinedRegression bool
+
+	// HistorySample, when positive, records a metrics snapshot every
+	// that many accesses (the time series behind warmup studies).
+	HistorySample int
+
+	// AsyncEviction implements the paper's §5 future-work extension:
+	// Tier-1 -> Tier-2 victim placements are performed in the
+	// background instead of by the faulting warp, taking the placement
+	// transfer off the miss's critical path (it still contends for the
+	// PCIe link).
+	AsyncEviction bool
+
+	// PrefetchDegree enables sequential prefetch on demand SSD fills
+	// (§2's "When?" discussion: placement in conjunction with
+	// prefetching): after filling page p, up to PrefetchDegree
+	// successor pages still homed on the SSD are fetched into free
+	// Tier-1 slots. Prefetches never evict resident pages.
+	PrefetchDegree int
+
+	// UpPathThroughTier2 is the ablation of §2's up-path bypass: when
+	// set, SSD fills stage through Tier-2 (an extra hop and Tier-2
+	// churn) instead of landing directly in Tier-1. The paper argues —
+	// and the ablation confirms — that bypassing is better.
+	UpPathThroughTier2 bool
+
+	// Future is the exact upcoming access sequence, required by
+	// PolicyOracle (and ignored otherwise). It must match the stream
+	// the GPU will issue.
+	Future []tier.PageID
+
+	// Transfer calibrates Tier-1<->Tier-2 movement; SSD the drive;
+	// SSDCount stripes pages across that many identical drives (BaM's
+	// bandwidth-scaling configuration; the paper's testbed used 1);
+	// HostLanes is the GPU<->host PCIe width.
+	Transfer  xfer.Config
+	SSD       nvme.Config
+	SSDCount  int
+	HostLanes int
+}
+
+// DefaultConfig mirrors the paper's default platform at 1/1024 of the
+// paper's capacities: Tier-1 16 GB -> 256 pages ... callers normally
+// override the tier sizes; see the workload package for experiment
+// scaling.
+func DefaultConfig() Config {
+	return Config{
+		Policy:             PolicyReuse,
+		Tier1Pages:         1024,
+		Tier2Pages:         4096,
+		PageSize:           64 * 1024,
+		Seed:               1,
+		Tier2Lookup:        50 * sim.Nanosecond,
+		Tier2EvictOverhead: 4 * sim.Microsecond,
+		HostSWOverhead:     32 * sim.Microsecond,
+		SampleTarget:       20_000,
+		SampleBatch:        4_000,
+		BackfillThreshold:  0.8,
+		BackfillWindow:     64,
+		MaxClockRetries:    8,
+		Transfer:           xfer.DefaultConfig(),
+		SSD:                nvme.DefaultConfig(),
+		HostLanes:          16,
+	}
+}
+
+type location uint8
+
+const (
+	locSSD location = iota
+	locTier1
+	locTier2
+	locInFlight
+)
+
+type pageState struct {
+	loc   location
+	dirty bool
+	// pendingDirty records writes that arrive while the page is in
+	// flight; applied at install.
+	pendingDirty bool
+	// evictVTD is the global access counter at the last Tier-1
+	// eviction; awaitingEval marks that the next access should evaluate
+	// that eviction's placement.
+	evictVTD     int64
+	awaitingEval bool
+	// Markov predictor state (Figure 5): the last correct class, and
+	// the class predicted at the last eviction.
+	lastCorrect   reuse.Class
+	hasHistory    bool
+	predicted     reuse.Class
+	hasPrediction bool
+	// provisional marks a Tier-2 resident placed without a trained
+	// prediction (sampling-phase coin or the backfill heuristic). A
+	// trained Medium placement may reclaim a provisional slot; trained
+	// residents are never displaced (§2.1.3's equivalence-class
+	// rationale). coinPlaced further marks sampling-phase coin
+	// placements, which the backfill heuristic may also reclaim —
+	// backfill-placed residents themselves are stable, preserving the
+	// cyclic-scan retention that makes Hotspot win (§3.3).
+	provisional bool
+	coinPlaced  bool
+	// nextUse is the global access index of the page's next reference
+	// (PolicyOracle only; -1 when the page is never used again).
+	nextUse int64
+	// prefetched marks a speculative fill not yet demanded.
+	prefetched bool
+
+	waiters []func()
+}
+
+// Storage is the drive-side interface the runtime issues I/O against:
+// a single *nvme.Disk or a striped *nvme.Array.
+type Storage interface {
+	Read(lba, n int64, done func(nvme.Completion))
+	Write(lba, n int64, done func(nvme.Completion))
+	Stats() nvme.Stats
+}
+
+// Runtime is a GMT memory manager. It implements gpu.MemoryManager; all
+// orchestration happens in simulated GPU threads (event callbacks), never
+// on a modeled host CPU.
+type Runtime struct {
+	eng *sim.Engine
+	cfg Config
+
+	ssd      Storage
+	hostLink *pcie.Link
+	mover    *xfer.Engine
+
+	t1 *tier.Clock
+	t2 tier.Store // nil under PolicyBaM
+
+	pages map[tier.PageID]*pageState
+	// reserved counts Tier-1 slots committed to in-flight fetches;
+	// slotWaiters holds fetches stalled because every slot is either
+	// occupied by another in-flight fetch or unpickable.
+	reserved    int
+	slotWaiters []func()
+
+	vtd        int64
+	sampler    *reuse.Sampler
+	markov     reuse.Markov
+	classifier reuse.Classifier
+	rng        *rand.Rand
+	// nextOcc[i] is the next access index of the page accessed at
+	// index i (PolicyOracle only; -1 = never again).
+	nextOcc []int64
+
+	// Ring of recent eviction classifications for the 80% heuristic.
+	recentLong []bool
+	recentPos  int
+	recentN    int
+
+	m       stats.Run
+	history []stats.Run
+}
+
+var _ gpu.MemoryManager = (*Runtime)(nil)
+
+// NewRuntime builds a runtime (and its devices) on eng.
+func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
+	if cfg.Tier1Pages < 1 {
+		panic("core: Tier1Pages must be >= 1")
+	}
+	if cfg.PageSize <= 0 {
+		panic("core: PageSize must be positive")
+	}
+	var storage Storage
+	if cfg.SSDCount > 1 {
+		storage = nvme.NewArray(eng, cfg.SSD, cfg.SSDCount)
+	} else {
+		storage = nvme.New(eng, cfg.SSD)
+	}
+	rt := &Runtime{
+		eng:      eng,
+		cfg:      cfg,
+		ssd:      storage,
+		hostLink: pcie.NewLink(eng, cfg.HostLanes),
+		t1:       tier.NewClock(cfg.Tier1Pages),
+		pages:    make(map[tier.PageID]*pageState),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		classifier: reuse.Classifier{
+			Tier1Pages: int64(cfg.Tier1Pages),
+			Tier2Pages: int64(cfg.Tier2Pages),
+		},
+	}
+	rt.mover = xfer.NewEngine(eng, rt.hostLink, cfg.Transfer)
+	if cfg.Policy != PolicyBaM {
+		if cfg.Tier2Pages < 1 {
+			panic("core: Tier2Pages must be >= 1 for 3-tier policies")
+		}
+		if cfg.Policy == PolicyTierOrder {
+			// §2.1.1: clock replacement in both top tiers.
+			rt.t2 = tier.NewClock(cfg.Tier2Pages)
+		} else {
+			// §2.2: FIFO in Tier-2 otherwise.
+			rt.t2 = tier.NewFIFO(cfg.Tier2Pages)
+		}
+	}
+	if cfg.Policy == PolicyReuse {
+		rt.sampler = reuse.NewSampler(cfg.SampleTarget, cfg.SampleBatch)
+		rt.sampler.SetPipelined(!cfg.UnpipelinedRegression)
+		w := cfg.BackfillWindow
+		if w < 1 {
+			w = 1
+		}
+		rt.recentLong = make([]bool, w)
+	}
+	if cfg.Policy == PolicyOracle {
+		if len(cfg.Future) == 0 {
+			panic("core: PolicyOracle requires Config.Future")
+		}
+		rt.nextOcc = nextOccurrences(cfg.Future)
+	}
+	rt.m.Policy = cfg.Policy.String()
+	return rt
+}
+
+// nextOccurrences computes, for each position, the next position of the
+// same page (-1 if none).
+func nextOccurrences(future []tier.PageID) []int64 {
+	next := make([]int64, len(future))
+	last := make(map[tier.PageID]int64, len(future)/4+1)
+	for i := len(future) - 1; i >= 0; i-- {
+		if n, ok := last[future[i]]; ok {
+			next[i] = n
+		} else {
+			next[i] = -1
+		}
+		last[future[i]] = int64(i)
+	}
+	return next
+}
+
+// SSD exposes the simulated drive (for experiment-level stats).
+func (rt *Runtime) SSD() Storage { return rt.ssd }
+
+// HostLink exposes the GPU<->host PCIe link.
+func (rt *Runtime) HostLink() *pcie.Link { return rt.hostLink }
+
+// Mover exposes the Tier-1<->Tier-2 transfer engine.
+func (rt *Runtime) Mover() *xfer.Engine { return rt.mover }
+
+func (rt *Runtime) page(p tier.PageID) *pageState {
+	ps, ok := rt.pages[p]
+	if !ok {
+		ps = &pageState{loc: locSSD}
+		rt.pages[p] = ps
+	}
+	return ps
+}
+
+// Access implements gpu.MemoryManager: one coalesced page reference.
+func (rt *Runtime) Access(a gpu.Access, done func()) {
+	idx := rt.vtd
+	rt.vtd++
+	rt.m.Accesses++
+	if rt.cfg.HistorySample > 0 && rt.m.Accesses%int64(rt.cfg.HistorySample) == 0 {
+		rt.history = append(rt.history, rt.Snapshot())
+	}
+	if rt.sampler != nil {
+		rt.sampler.Observe(a.Page)
+	}
+	ps := rt.page(a.Page)
+	if rt.nextOcc != nil {
+		if idx >= int64(len(rt.nextOcc)) {
+			panic("core: access beyond Config.Future")
+		}
+		ps.nextUse = rt.nextOcc[idx]
+	}
+	switch ps.loc {
+	case locTier1:
+		rt.m.Tier1Hits++
+		rt.t1.Touch(a.Page)
+		if a.Write {
+			ps.dirty = true
+		}
+		if ps.prefetched {
+			ps.prefetched = false
+			rt.m.PrefetchHits++
+		}
+		done()
+	case locInFlight:
+		rt.m.InFlightJoins++
+		if a.Write {
+			ps.pendingDirty = true
+		}
+		if ps.prefetched {
+			ps.prefetched = false
+			rt.m.PrefetchHits++
+		}
+		ps.waiters = append(ps.waiters, done)
+	case locTier2:
+		rt.evaluateEviction(ps, idx)
+		rt.fetchFromTier2(a, ps, done)
+	case locSSD:
+		rt.evaluateEviction(ps, idx)
+		rt.fetchFromSSD(a, ps, done)
+	default:
+		panic("core: invalid page location")
+	}
+}
+
+// evaluateEviction scores the page's previous Tier-1 eviction now that
+// its actual remaining VTD is known (§2.1.3 step 2): the actual RVTD is
+// the access-counter delta since eviction, the regression projects the
+// RRD, Eq. 1 yields the correct class, and the Markov chain learns the
+// transition from the previous correct class.
+func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
+	if rt.cfg.Policy != PolicyReuse || !ps.awaitingEval {
+		return
+	}
+	ps.awaitingEval = false
+	rvtd := idx - ps.evictVTD
+	rrd := rt.sampler.Coeffs().Estimate(rvtd)
+	correct := rt.classifier.Classify(rrd)
+	if ps.hasPrediction {
+		rt.m.Predictions++
+		if ps.predicted == correct {
+			rt.m.CorrectPredictions++
+		}
+		ps.hasPrediction = false
+	}
+	if ps.hasHistory {
+		rt.markov.Update(ps.lastCorrect, correct)
+	}
+	ps.lastCorrect = correct
+	ps.hasHistory = true
+}
+
+// fetchFromTier2 serves a miss from host memory: a useful Tier-2 lookup,
+// then a GPU-orchestrated page move down (Hybrid-XT, §2.3).
+func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
+	rt.m.Tier2Lookups++
+	rt.m.Tier2Hits++
+	// The page leaves Tier-2 the moment the move starts (no duplication
+	// across tiers, §2.2). Removing before the eviction triggered by
+	// beginFetch means the vacated slot is available to the victim —
+	// the "demand miss creates a free slot" flow of §2.2.
+	rt.t2.Remove(a.Page)
+	rt.beginFetch(a, ps, done, func() {
+		rt.eng.After(rt.cfg.Tier2Lookup+rt.cfg.HostSWOverhead, func() {
+			rt.mover.MovePage(false, gpu.WarpThreads, func() {
+				rt.m.PagesToGPU++
+				rt.install(a.Page)
+			})
+		})
+	})
+}
+
+// fetchFromSSD serves a miss from the drive, bypassing Tier-2 on the
+// up-path. Under the 3-tier policies the preceding Tier-2 probe was
+// wasteful and its latency sits on the critical path (§3.4).
+func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
+	lookup := sim.Time(0)
+	if rt.cfg.Policy != PolicyBaM {
+		rt.m.Tier2Lookups++
+		rt.m.WastefulLookups++
+		lookup = rt.cfg.Tier2Lookup
+	}
+	rt.m.SSDFills++
+	rt.beginFetch(a, ps, done, func() {
+		rt.eng.After(lookup, func() {
+			rt.ssd.Read(int64(a.Page), rt.cfg.PageSize, func(nvme.Completion) {
+				rt.landFill(a.Page)
+			})
+		})
+	})
+	if rt.cfg.PrefetchDegree > 0 {
+		rt.prefetchAfter(a.Page)
+	}
+}
+
+// landFill completes an SSD fill: directly into Tier-1 (the paper's
+// up-path bypass), or staged through Tier-2 under the ablation flag.
+func (rt *Runtime) landFill(p tier.PageID) {
+	if !rt.cfg.UpPathThroughTier2 || rt.t2 == nil {
+		rt.install(p)
+		return
+	}
+	// Ablation: the page lands in a host staging buffer first, then is
+	// moved up by the warp, paying the host software path and an extra
+	// PCIe hop on every fill.
+	rt.eng.After(rt.cfg.HostSWOverhead, func() {
+		rt.mover.MovePage(false, gpu.WarpThreads, func() {
+			rt.m.PagesToGPU++
+			rt.install(p)
+		})
+	})
+}
+
+// prefetchAfter speculatively fetches sequential successors of a
+// demand-missed page into free Tier-1 slots (never evicting for them).
+func (rt *Runtime) prefetchAfter(p tier.PageID) {
+	for k := 1; k <= rt.cfg.PrefetchDegree; k++ {
+		q := p + tier.PageID(k)
+		qs := rt.page(q)
+		if qs.loc != locSSD {
+			continue
+		}
+		if rt.t1.Len()+rt.reserved >= rt.t1.Capacity() {
+			return // no free slot; prefetch never evicts
+		}
+		rt.reserved++
+		qs.loc = locInFlight
+		qs.prefetched = true
+		rt.m.Prefetches++
+		rt.ssd.Read(int64(q), rt.cfg.PageSize, func(nvme.Completion) {
+			rt.landFill(q)
+		})
+	}
+}
+
+// beginFetch flips the page in-flight and queues the requester; start
+// runs (possibly immediately) once a Tier-1 slot has been reserved.
+func (rt *Runtime) beginFetch(a gpu.Access, ps *pageState, done, start func()) {
+	ps.loc = locInFlight
+	if a.Write {
+		ps.pendingDirty = true
+	}
+	ps.waiters = append(ps.waiters, done)
+	rt.acquireSlot(start)
+}
+
+// acquireSlot reserves a Tier-1 slot for an in-flight fetch, evicting a
+// victim if needed. When every slot is already committed to other
+// in-flight fetches (more concurrently faulting warps than Tier-1
+// slots), the fetch queues until an install frees capacity.
+//
+// When the victim is placed into Tier-2, start is gated on the placement
+// transfer: the faulting warp's threads perform the page move to host
+// memory before reusing the slot, so indiscriminate placement (TierOrder)
+// pays its cost on the miss path while discards are free. Dirty
+// writebacks to the SSD stay asynchronous (both BaM and GMT enqueue them
+// to the drive's queues and move on).
+func (rt *Runtime) acquireSlot(start func()) {
+	if rt.t1.Len() == 0 && rt.reserved >= rt.t1.Capacity() {
+		rt.slotWaiters = append(rt.slotWaiters, start)
+		return
+	}
+	if rt.t1.Len()+rt.reserved >= rt.t1.Capacity() {
+		rt.reserved++
+		rt.evictTier1(start)
+		return
+	}
+	rt.reserved++
+	start()
+}
+
+// install completes a fetch: the page enters Tier-1 and all waiters run.
+func (rt *Runtime) install(p tier.PageID) {
+	ps := rt.pages[p]
+	rt.reserved--
+	rt.t1.Insert(p)
+	ps.loc = locTier1
+	ps.dirty = ps.pendingDirty
+	ps.pendingDirty = false
+	waiters := ps.waiters
+	ps.waiters = nil
+	for _, w := range waiters {
+		w()
+	}
+	if len(rt.slotWaiters) > 0 {
+		next := rt.slotWaiters[0]
+		rt.slotWaiters = rt.slotWaiters[1:]
+		rt.acquireSlot(next)
+	}
+}
+
+// evictTier1 runs the clock and the configured placement policy on the
+// victim. ready fires when the slot's data is out of the way: immediately
+// for discards/writebacks, or after the Tier-2 placement transfer.
+func (rt *Runtime) evictTier1(ready func()) {
+	if rt.cfg.Policy == PolicyOracle {
+		rt.oracleEvict(ready)
+		return
+	}
+	victim := rt.t1.Victim()
+	var class reuse.Class
+	var trained bool
+	if rt.cfg.Policy == PolicyReuse {
+		victim, class, trained = rt.chooseReuseVictim(victim)
+	}
+	rt.t1.Remove(victim)
+	ps := rt.pages[victim]
+	ps.loc = locSSD // provisional; placement may move it to Tier-2
+	if rt.cfg.Policy == PolicyReuse {
+		ps.evictVTD = rt.vtd
+		ps.awaitingEval = true
+	}
+	switch rt.cfg.Policy {
+	case PolicyBaM:
+		rt.discard(victim, ps)
+		ready()
+	case PolicyTierOrder:
+		rt.placeInTier2Evicting(victim, ps, ready)
+	case PolicyRandom:
+		if rt.rng.Intn(2) == 0 {
+			rt.placeInTier2Evicting(victim, ps, ready)
+		} else {
+			rt.discard(victim, ps)
+			ready()
+		}
+	case PolicyReuse:
+		rt.placeByClass(victim, ps, class, trained, ready)
+	default:
+		panic("core: unknown policy")
+	}
+}
+
+// chooseReuseVictim applies §2.1.3's candidate loop: short-reuse
+// candidates are retained (clock rerun), bounded by MaxClockRetries.
+// trained reports whether the class came from the Markov predictor
+// rather than a fallback.
+func (rt *Runtime) chooseReuseVictim(cand tier.PageID) (tier.PageID, reuse.Class, bool) {
+	for retry := 0; ; retry++ {
+		class, ok := rt.predictClass(cand)
+		if !ok {
+			// No history. During the sampling window, proceed with the
+			// default strategy (GMT-Random's coin, §2.1.3). Once the
+			// regression is trained, an unknown page is most likely a
+			// streamed page that will never return: classify it Long so
+			// it cannot clog Tier-2 (the backfill heuristic still
+			// recycles such pages into an underused Tier-2).
+			if rt.sampler.Done() {
+				class = reuse.Long
+			} else if rt.rng.Intn(2) == 0 {
+				class = reuse.Medium
+			} else {
+				class = reuse.Long
+			}
+			return cand, class, false
+		}
+		if class != reuse.Short || retry >= rt.cfg.MaxClockRetries {
+			return cand, class, true
+		}
+		rt.t1.Reject(cand)
+		cand = rt.t1.Victim()
+	}
+}
+
+// predictClass consults the configured predictor for the page's next
+// class.
+func (rt *Runtime) predictClass(p tier.PageID) (reuse.Class, bool) {
+	ps := rt.pages[p]
+	switch rt.cfg.Predictor {
+	case PredictorStatic:
+		return reuse.Medium, true
+	case PredictorLastClass:
+		if !ps.hasHistory {
+			return 0, false
+		}
+		return ps.lastCorrect, true
+	default: // PredictorMarkov
+		if !ps.hasHistory || !rt.markov.Trained(ps.lastCorrect) {
+			return 0, false
+		}
+		return rt.markov.Predict(ps.lastCorrect), true
+	}
+}
+
+// placeByClass implements GMT-Reuse's placement: Medium goes to Tier-2
+// when a free slot exists (never evicting — §2.1.3: Tier-2 residents are
+// peers in the same equivalence class); Long goes down, unless the 80%
+// backfill heuristic (§2.2) redirects it into an underused Tier-2. A
+// Short class can only reach here via the retry bound; it is treated as
+// Medium, the nearest placeable tier.
+func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.Class, trained bool, ready func()) {
+	ps.predicted = class
+	ps.hasPrediction = true
+	rt.noteEvictionClass(class)
+	switch class {
+	case reuse.Short, reuse.Medium:
+		ps.provisional = !trained
+		ps.coinPlaced = !trained
+		if !rt.t2.Full() {
+			rt.placeInTier2(victim, ps, ready)
+			return
+		}
+		// A trained Medium page may reclaim the slot of the oldest
+		// provisional resident; trained residents are never displaced.
+		if trained && rt.reclaimTier2(func(v *pageState) bool { return v.provisional }) {
+			rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready)
+			return
+		}
+		rt.discard(victim, ps)
+		ready()
+	case reuse.Long:
+		if rt.backfillActive() {
+			if !rt.t2.Full() {
+				rt.m.BackfillPlaced++
+				ps.provisional = true
+				ps.coinPlaced = false
+				rt.placeInTier2(victim, ps, ready)
+				return
+			}
+			// Backfill may recycle stale sampling-phase coin
+			// placements, but never other backfill residents — that
+			// stability is what retains a useful subset of a cyclic
+			// scan.
+			if rt.reclaimTier2(func(v *pageState) bool { return v.coinPlaced }) {
+				rt.m.BackfillPlaced++
+				ps.provisional = true
+				ps.coinPlaced = false
+				rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready)
+				return
+			}
+		}
+		rt.discard(victim, ps)
+		ready()
+	default:
+		panic("core: unplaceable class")
+	}
+}
+
+// reclaimTier2 evicts the FIFO-oldest Tier-2 resident if it satisfies
+// eligible, reporting whether a slot was freed.
+func (rt *Runtime) reclaimTier2(eligible func(*pageState) bool) bool {
+	v := rt.t2.Victim()
+	vps := rt.pages[v]
+	if !eligible(vps) {
+		return false
+	}
+	rt.t2.Remove(v)
+	rt.m.Tier2Evictions++
+	rt.discard(v, vps)
+	return true
+}
+
+func (rt *Runtime) noteEvictionClass(class reuse.Class) {
+	rt.recentLong[rt.recentPos] = class == reuse.Long
+	rt.recentPos = (rt.recentPos + 1) % len(rt.recentLong)
+	if rt.recentN < len(rt.recentLong) {
+		rt.recentN++
+	}
+}
+
+func (rt *Runtime) backfillActive() bool {
+	if rt.recentN < len(rt.recentLong) {
+		return false
+	}
+	long := 0
+	for _, l := range rt.recentLong {
+		if l {
+			long++
+		}
+	}
+	return float64(long) > rt.cfg.BackfillThreshold*float64(len(rt.recentLong))
+}
+
+// placeInTier2Evicting inserts the victim into Tier-2, evicting Tier-2's
+// own replacement victim first if full (TierOrder and Random semantics).
+func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready func()) {
+	var overhead sim.Time
+	if rt.t2.Full() {
+		t2v := rt.t2.Victim()
+		rt.t2.Remove(t2v)
+		rt.m.Tier2Evictions++
+		rt.discard(t2v, rt.pages[t2v])
+		// The replacement pass over host-resident metadata delays the
+		// warp before it can start the placement transfer.
+		overhead = rt.cfg.Tier2EvictOverhead
+	}
+	rt.placeInTier2Delayed(victim, ps, overhead, ready)
+}
+
+// placeInTier2 moves a Tier-1 victim into host memory: metadata first,
+// then the data over PCIe, performed by the evicting warp's threads —
+// ready fires when the transfer lands.
+func (rt *Runtime) placeInTier2(victim tier.PageID, ps *pageState, ready func()) {
+	rt.placeInTier2Delayed(victim, ps, 0, ready)
+}
+
+// placeInTier2Delayed reserves the Tier-2 slot immediately (so
+// same-instant evictions cannot double-book it) and starts the data move
+// after the given metadata-management delay.
+func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay sim.Time, ready func()) {
+	rt.t2.Insert(victim)
+	ps.loc = locTier2
+	rt.m.EvictionsToTier2++
+	rt.m.PagesToHost++
+	if rt.cfg.AsyncEviction && ready != nil {
+		// §5 future work: the placement proceeds in the background;
+		// the faulting warp does not wait for it.
+		ready()
+		ready = nil
+	}
+	move := func() { rt.mover.MovePage(true, gpu.WarpThreads, ready) }
+	if delay > 0 {
+		rt.eng.After(delay, move)
+		return
+	}
+	move()
+}
+
+// discard drops a clean page (its home copy on the SSD is current) or
+// writes a dirty one back to the drive.
+func (rt *Runtime) discard(p tier.PageID, ps *pageState) {
+	ps.loc = locSSD
+	if ps.dirty {
+		ps.dirty = false
+		rt.m.EvictionsToSSD++
+		rt.ssd.Write(int64(p), rt.cfg.PageSize, nil)
+	} else {
+		rt.m.EvictionsDropped++
+	}
+}
+
+// Snapshot reports the run's metrics. Drive counters are folded in.
+func (rt *Runtime) Snapshot() stats.Run {
+	m := rt.m
+	ds := rt.ssd.Stats()
+	m.SSDReads = ds.Reads
+	m.SSDWrites = ds.Writes
+	m.SSDReadBytes = ds.ReadBytes
+	m.SSDWriteBytes = ds.WriteBytes
+	if rt.sampler != nil {
+		m.RegressionBatches = int64(rt.sampler.Batches())
+		m.SamplePairs = int64(rt.sampler.Pairs())
+	}
+	return m
+}
+
+// History reports the recorded metric snapshots (empty unless
+// Config.HistorySample is set). Each entry is cumulative up to its
+// sample point.
+func (rt *Runtime) History() []stats.Run {
+	out := make([]stats.Run, len(rt.history))
+	copy(out, rt.history)
+	return out
+}
+
+// Coeffs reports the published VTD->RD regression (PolicyReuse only).
+func (rt *Runtime) Coeffs() reuse.Coeffs {
+	if rt.sampler == nil {
+		return reuse.Coeffs{}
+	}
+	return rt.sampler.Coeffs()
+}
+
+// MarkovWeights reports the predictor's transition matrix.
+func (rt *Runtime) MarkovWeights() [3][3]int64 { return rt.markov.Weights() }
+
+// Tier1Resident reports current Tier-1 occupancy.
+func (rt *Runtime) Tier1Resident() int { return rt.t1.Len() }
+
+// Tier2Resident reports current Tier-2 occupancy (0 under PolicyBaM).
+func (rt *Runtime) Tier2Resident() int {
+	if rt.t2 == nil {
+		return 0
+	}
+	return rt.t2.Len()
+}
+
+// CheckInvariants panics if a page is accounted in more than one tier or
+// residency counters disagree; tests call it after runs.
+func (rt *Runtime) CheckInvariants() {
+	t1n, t2n, inflight := 0, 0, 0
+	for p, ps := range rt.pages {
+		switch ps.loc {
+		case locTier1:
+			t1n++
+			if !rt.t1.Contains(p) {
+				panic(fmt.Sprintf("core: page %d marked Tier-1 but absent from clock", p))
+			}
+			if rt.t2 != nil && rt.t2.Contains(p) {
+				panic(fmt.Sprintf("core: page %d duplicated across tiers", p))
+			}
+		case locTier2:
+			t2n++
+			if rt.t2 == nil || !rt.t2.Contains(p) {
+				panic(fmt.Sprintf("core: page %d marked Tier-2 but absent", p))
+			}
+			if rt.t1.Contains(p) {
+				panic(fmt.Sprintf("core: page %d duplicated across tiers", p))
+			}
+		case locInFlight:
+			inflight++
+		case locSSD:
+			if rt.t1.Contains(p) || (rt.t2 != nil && rt.t2.Contains(p)) {
+				panic(fmt.Sprintf("core: page %d marked SSD but tier-resident", p))
+			}
+			if len(ps.waiters) > 0 {
+				panic(fmt.Sprintf("core: page %d has stranded waiters", p))
+			}
+		}
+	}
+	if t1n != rt.t1.Len() {
+		panic(fmt.Sprintf("core: Tier-1 accounting mismatch: %d vs %d", t1n, rt.t1.Len()))
+	}
+	if rt.t2 != nil && t2n != rt.t2.Len() {
+		panic(fmt.Sprintf("core: Tier-2 accounting mismatch: %d vs %d", t2n, rt.t2.Len()))
+	}
+	if inflight != rt.reserved+len(rt.slotWaiters) {
+		panic(fmt.Sprintf("core: reservation mismatch: %d in flight vs %d reserved + %d waiting",
+			inflight, rt.reserved, len(rt.slotWaiters)))
+	}
+}

@@ -1,0 +1,405 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/workload"
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+func testScale() workload.Scale {
+	return workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2}
+}
+
+// Shared suite: experiments memoize runs, so tests stay fast.
+var shared = NewSuite(testScale())
+
+func TestTable1(t *testing.T) {
+	rows, table := Table1(shared)
+	if len(rows) != 7 || table.Rows() != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	out := table.Render()
+	for _, want := range []string{"A100", "Samsung 970", "Gen3 x16", "queue pairs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, table := Table2(shared)
+	if len(rows) != 9 || table.Rows() != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	var maxApp string
+	var maxIO int64
+	for _, r := range rows {
+		if r.TotalIOBytes > maxIO {
+			maxIO, maxApp = r.TotalIOBytes, r.App
+		}
+	}
+	if maxApp != "Backprop" {
+		t.Fatalf("largest I/O = %s, paper says Backprop", maxApp)
+	}
+	if !strings.Contains(table.Render(), "Backprop") {
+		t.Fatal("render missing app rows")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	rows, _ := Figure4(shared)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Figure 4a: a good linear correlation between VTD and RD.
+		if r.Correlation < 0.9 {
+			t.Errorf("%s: correlation %.2f < 0.9", r.App, r.Correlation)
+		}
+		if r.SeriesSampled == 0 {
+			t.Errorf("%s: no multi-eviction pages sampled", r.App)
+		}
+	}
+	// Figure 4b: MultiVectorAdd pages repeat the same RRD at every
+	// eviction.
+	mva := rows[0]
+	if frac := float64(mva.ConstantSeries) / float64(mva.SeriesSampled); frac < 0.8 {
+		t.Errorf("MultiVectorAdd constant-RRD fraction %.2f < 0.8", frac)
+	}
+}
+
+func TestFigure6aCrossover(t *testing.T) {
+	rows, _ := Figure6a(xfer.DefaultConfig())
+	// DMA wins small batches, zero-copy wins large ones, crossover ≈8.
+	if rows[0].DMAMicros >= rows[0].ZeroCopy32Micros {
+		t.Fatal("DMA should win at 1 page")
+	}
+	last := rows[len(rows)-1]
+	if last.ZeroCopy32Micros >= last.DMAMicros {
+		t.Fatal("zero-copy should win at 512 pages")
+	}
+	for _, r := range rows {
+		if r.Pages >= 8 && r.ZeroCopy32Micros > r.DMAMicros {
+			t.Fatalf("crossover after 8 pages: at %d pages zc=%d dma=%d",
+				r.Pages, r.ZeroCopy32Micros, r.DMAMicros)
+		}
+	}
+}
+
+func TestFigure6bHybrid32NearBest(t *testing.T) {
+	rows, _ := Figure6b(xfer.DefaultConfig())
+	if len(rows) < 8 {
+		t.Fatalf("skew sweep too short: %d", len(rows))
+	}
+	for _, r := range rows {
+		best := r.DMA
+		if r.ZeroCopy > best {
+			best = r.ZeroCopy
+		}
+		// Paper: Hybrid-32T does (or is close to) the best across the
+		// whole skew range, and never loses to always-DMA.
+		if r.Hybrid32 < 0.75*best {
+			t.Errorf("skew %.2f: Hybrid-32T %.2f GB/s below 0.75x best %.2f",
+				r.Skew, r.Hybrid32, best)
+		}
+		if r.Hybrid32 < 0.99*r.DMA {
+			t.Errorf("skew %.2f: Hybrid-32T %.2f below DMA %.2f", r.Skew, r.Hybrid32, r.DMA)
+		}
+	}
+	// The regimes differ: zero-copy leads at low skew, DMA at high skew.
+	lo, hi := rows[0], rows[len(rows)-1]
+	if lo.ZeroCopy <= lo.DMA {
+		t.Error("at skew 0 zero-copy should beat DMA")
+	}
+	if hi.DMA <= hi.ZeroCopy {
+		t.Error("at skew 1 DMA should beat zero-copy")
+	}
+	// At skew 0 a full warp makes zero-copy the right call.
+	if lo.Hybrid32 < 0.99*lo.ZeroCopy {
+		t.Error("at skew 0 Hybrid-32T should match zero-copy")
+	}
+	// An under-threaded hybrid mispicks at high skew (§2.3: need the
+	// whole warp).
+	if hi.Hybrid8 >= hi.Hybrid32 {
+		t.Errorf("at skew 1 Hybrid-8T (%.2f) should trail Hybrid-32T (%.2f)",
+			hi.Hybrid8, hi.Hybrid32)
+	}
+}
+
+func TestFigure7Biases(t *testing.T) {
+	rows, _ := Figure7(shared)
+	byApp := map[string]Figure7Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	if r := byApp["Hotspot"]; r.EvictLong < 0.99 {
+		t.Errorf("Hotspot Tier-3 eviction bias %.2f, want ≈1.0", r.EvictLong)
+	}
+	if r := byApp["Srad"]; r.EvictMedium < 0.7 {
+		t.Errorf("Srad Tier-2 eviction bias %.2f, want > 0.7", r.EvictMedium)
+	}
+	if r := byApp["Pathfinder"]; r.PairShort < 0.95 {
+		t.Errorf("Pathfinder Tier-1 pair bias %.2f, want > 0.95", r.PairShort)
+	}
+}
+
+func TestFigure8Headline(t *testing.T) {
+	rows, table := Figure8(shared)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	avg := map[string]float64{}
+	for _, p := range Policies {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Speedup[p.String()])
+		}
+		avg[p.String()] = mean(xs)
+	}
+	// The paper's headline ordering: Reuse (1.5) > Random (1.24) >
+	// TierOrder (1.07) > BaM (1.0).
+	if !(avg["GMT-Reuse"] > avg["GMT-Random"] && avg["GMT-Random"] > avg["GMT-TierOrder"]) {
+		t.Fatalf("policy ordering broken: %v", avg)
+	}
+	if avg["GMT-Reuse"] < 1.25 || avg["GMT-Reuse"] > 2.0 {
+		t.Fatalf("GMT-Reuse average speedup %.2f outside the paper's band (≈1.5)", avg["GMT-Reuse"])
+	}
+	if avg["GMT-TierOrder"] < 1.0 {
+		t.Fatalf("TierOrder average %.2f below 1.0", avg["GMT-TierOrder"])
+	}
+	// Figure 8b: the 3-tier policies reduce SSD I/O on average.
+	for _, p := range Policies {
+		var io []float64
+		for _, r := range rows {
+			io = append(io, r.IORelative[p.String()])
+		}
+		if m := mean(io); m >= 1.0 {
+			t.Fatalf("%v mean relative I/O %.2f >= 1.0", p, m)
+		}
+	}
+	if table.Rows() != 10 { // 9 apps + average row
+		t.Fatalf("table rows = %d", table.Rows())
+	}
+}
+
+func TestFigure8PerAppStories(t *testing.T) {
+	rows, _ := Figure8(shared)
+	byApp := map[string]Figure8Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// Tier-1-biased, low-reuse apps gain (almost) nothing (§3.3).
+	for _, app := range []string{"LavaMD", "Pathfinder"} {
+		if sp := byApp[app].Speedup["GMT-Reuse"]; sp < 0.85 || sp > 1.15 {
+			t.Errorf("%s: GMT-Reuse speedup %.2f, want ≈1.0", app, sp)
+		}
+	}
+	// Tier-2-friendly apps gain substantially under Reuse.
+	for _, app := range []string{"Srad", "Backprop"} {
+		if sp := byApp[app].Speedup["GMT-Reuse"]; sp < 1.3 {
+			t.Errorf("%s: GMT-Reuse speedup %.2f, want > 1.3", app, sp)
+		}
+	}
+	// Hotspot: 100% Tier-3 RRDs, yet Reuse gains via backfill (§3.3)
+	// while TierOrder stays ≈1.0.
+	if sp := byApp["Hotspot"].Speedup["GMT-Reuse"]; sp < 1.3 {
+		t.Errorf("Hotspot: GMT-Reuse %.2f, want > 1.3 (backfill)", sp)
+	}
+	if sp := byApp["Hotspot"].Speedup["GMT-TierOrder"]; sp > 1.15 {
+		t.Errorf("Hotspot: TierOrder %.2f, want ≈1.0", sp)
+	}
+}
+
+func TestFigure9Accuracy(t *testing.T) {
+	rows, _ := Figure9(shared)
+	byApp := map[string]Figure9Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// Strong-history apps predict well; lavaMD has almost no history
+	// to predict from (§3.3).
+	for _, app := range []string{"Srad", "Hotspot", "Backprop"} {
+		if byApp[app].Accuracy < 0.5 {
+			t.Errorf("%s accuracy %.2f < 0.5", app, byApp[app].Accuracy)
+		}
+	}
+	if byApp["LavaMD"].Predictions > byApp["Hotspot"].Predictions {
+		t.Error("LavaMD scored more predictions than Hotspot")
+	}
+}
+
+func TestFigure10LookupDiscipline(t *testing.T) {
+	rows, _ := Figure10(shared)
+	var wasteTO, wasteReuse []float64
+	for _, r := range rows {
+		wasteTO = append(wasteTO, r.WastefulLookups["GMT-TierOrder"])
+		wasteReuse = append(wasteReuse, r.WastefulLookups["GMT-Reuse"])
+	}
+	// Figure 10a: GMT-Reuse has the fewest unnecessary lookups;
+	// TierOrder does quite badly.
+	if mean(wasteReuse) >= mean(wasteTO) {
+		t.Fatalf("Reuse waste %.2f >= TierOrder waste %.2f", mean(wasteReuse), mean(wasteTO))
+	}
+}
+
+func TestFigure11LowerButPositive(t *testing.T) {
+	rows8, _ := Figure8(shared)
+	rows11, _ := Figure11(testScale())
+	if len(rows11) != 9 {
+		t.Fatalf("rows = %d", len(rows11))
+	}
+	avgAt := func(rows []SensitivityRow) float64 {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Speedup["GMT-Reuse"])
+		}
+		return mean(xs)
+	}
+	var base []float64
+	for _, r := range rows8 {
+		base = append(base, r.Speedup["GMT-Reuse"])
+	}
+	osf2, osf4 := mean(base), avgAt(rows11)
+	// Paper: speedups decrease at OSF 4 (1.5 -> 1.23) but remain
+	// considerable.
+	if osf4 >= osf2 {
+		t.Fatalf("OSF4 average %.2f >= OSF2 average %.2f", osf4, osf2)
+	}
+	if osf4 < 1.05 {
+		t.Fatalf("OSF4 average %.2f collapsed below 1.05", osf4)
+	}
+}
+
+func TestFigure12RatioTrend(t *testing.T) {
+	byRatio, _ := Figure12(testScale())
+	avg := map[int]float64{}
+	for ratio, rows := range byRatio {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Speedup["GMT-Reuse"])
+		}
+		avg[ratio] = mean(xs)
+	}
+	// Paper: speedups increase with a larger Tier-2.
+	if !(avg[8] > avg[2]) {
+		t.Fatalf("ratio trend broken: %v", avg)
+	}
+	for _, ratio := range []int{2, 4, 8} {
+		if avg[ratio] < 1.0 {
+			t.Fatalf("ratio %d average %.2f < 1.0", ratio, avg[ratio])
+		}
+	}
+}
+
+func TestFigure13DoubledTier1(t *testing.T) {
+	rows, _ := Figure13(testScale())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 non-graph apps", len(rows))
+	}
+	var reuse, tierOrder []float64
+	for _, r := range rows {
+		reuse = append(reuse, r.Speedup["GMT-Reuse"])
+		tierOrder = append(tierOrder, r.Speedup["GMT-TierOrder"])
+	}
+	// Paper: GMT-Reuse keeps a ≈45% average speedup and beats
+	// TierOrder.
+	if mean(reuse) < 1.2 {
+		t.Fatalf("Reuse average %.2f < 1.2", mean(reuse))
+	}
+	if mean(reuse) <= mean(tierOrder) {
+		t.Fatalf("Reuse (%.2f) did not beat TierOrder (%.2f)", mean(reuse), mean(tierOrder))
+	}
+}
+
+func TestFigure14HMMGap(t *testing.T) {
+	rows, _ := Figure14(shared)
+	var hmm, reuse, vsOpt []float64
+	for _, r := range rows {
+		if r.HMMSpeedup >= 1.0 {
+			t.Errorf("%s: HMM at %.2fx BaM, should be below 1.0", r.App, r.HMMSpeedup)
+		}
+		if r.ReuseSpeedup <= r.HMMSpeedup {
+			t.Errorf("%s: Reuse (%.2f) not above HMM (%.2f)", r.App, r.ReuseSpeedup, r.HMMSpeedup)
+		}
+		hmm = append(hmm, r.HMMSpeedup)
+		reuse = append(reuse, r.ReuseSpeedup)
+		vsOpt = append(vsOpt, r.ReuseVsOptHMM)
+	}
+	// Paper: GMT-Reuse ≈4.6x HMM on average, and still ≈1.9x an HMM
+	// granted equal hit rates (§3.6).
+	gap := mean(reuse) / mean(hmm)
+	if gap < 3 {
+		t.Fatalf("Reuse/HMM average gap %.2f < 3", gap)
+	}
+	if mean(vsOpt) < 1.3 {
+		t.Fatalf("Reuse vs optimistic HMM %.2f < 1.3", mean(vsOpt))
+	}
+}
+
+// TestFigure8OrderingScaleInvariant validates the substitution argument
+// of DESIGN.md §1: policy decisions depend on capacity ratios, so the
+// headline ordering must hold at a different absolute scale.
+func TestFigure8OrderingScaleInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-scale sweep is slow")
+	}
+	s := NewSuite(workload.Scale{Tier1Pages: 512, Tier2Pages: 2048, Oversubscription: 2})
+	rows, _ := Figure8(s)
+	avg := map[string]float64{}
+	for _, p := range Policies {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Speedup[p.String()])
+		}
+		avg[p.String()] = mean(xs)
+	}
+	if !(avg["GMT-Reuse"] > avg["GMT-Random"] && avg["GMT-Random"] > avg["GMT-TierOrder"]) {
+		t.Fatalf("2x scale broke the ordering: %v", avg)
+	}
+	if avg["GMT-Reuse"] < 1.25 {
+		t.Fatalf("2x scale GMT-Reuse average %.2f < 1.25", avg["GMT-Reuse"])
+	}
+}
+
+func TestFigure8OrderingRobustToSeeds(t *testing.T) {
+	// The headline ordering (Reuse > Random > TierOrder on average)
+	// must not be an artifact of one RNG seed.
+	for _, seed := range []int64{7, 42} {
+		s := NewSuite(testScale())
+		s.Seed = seed
+		rows, _ := Figure8(s)
+		avg := map[string]float64{}
+		for _, p := range Policies {
+			var xs []float64
+			for _, r := range rows {
+				xs = append(xs, r.Speedup[p.String()])
+			}
+			avg[p.String()] = mean(xs)
+		}
+		if !(avg["GMT-Reuse"] > avg["GMT-Random"] && avg["GMT-Random"] > avg["GMT-TierOrder"]) {
+			t.Errorf("seed %d: ordering broken: %v", seed, avg)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := NewSuite(testScale())
+	w := s.Apps()[1] // Pathfinder: cheap
+	a := s.Run(w, core.PolicyBaM)
+	b := s.Run(w, core.PolicyBaM)
+	if a != b {
+		t.Fatal("memoized results differ")
+	}
+}
+
+func TestAppByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown app did not panic")
+		}
+	}()
+	appByName(shared, "NoSuchApp")
+}

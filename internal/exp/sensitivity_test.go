@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSSDSensitivityTrend(t *testing.T) {
+	rows, table := SSDSensitivity(shared)
+	if len(rows) != len(SensitivityApps)*len(SSDGens) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// For each app: the paper-generation speedup must exceed the
+	// near-memory one — faster storage erodes the host tier's value.
+	byApp := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[string]float64{}
+		}
+		byApp[r.App][r.Gen] = r.Speedup
+	}
+	for app, gens := range byApp {
+		base := gens["Gen3x4 (paper)"]
+		fast := gens["near-memory"]
+		if fast >= base {
+			t.Errorf("%s: near-memory speedup %.2f >= Gen3 %.2f; trend broken", app, fast, base)
+		}
+		if base < 1.2 {
+			t.Errorf("%s: Gen3 speedup %.2f < 1.2", app, base)
+		}
+	}
+	if table.Rows() != len(SensitivityApps) {
+		t.Fatalf("table rows = %d", table.Rows())
+	}
+}
+
+func TestSSDCountSweepTrend(t *testing.T) {
+	rows, _ := SSDCountSweep(shared)
+	byApp := map[string]map[int]float64{}
+	for _, r := range rows {
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[int]float64{}
+		}
+		byApp[r.App][r.Drives] = r.Speedup
+	}
+	for app, counts := range byApp {
+		// More drives give BaM more raw bandwidth: GMT's relative
+		// advantage must not grow, and the single-drive gain stays.
+		if counts[4] > counts[1]+0.05 {
+			t.Errorf("%s: 4-drive speedup %.2f above 1-drive %.2f", app, counts[4], counts[1])
+		}
+		if counts[1] < 1.2 {
+			t.Errorf("%s: 1-drive speedup %.2f < 1.2", app, counts[1])
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	rows, table := Utilization(shared)
+	if len(rows) != 9 || table.Rows() != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var bam, reuse []float64
+	for _, r := range rows {
+		for p, u := range r.Utilization {
+			if u < 0 || u > 1 {
+				t.Fatalf("%s/%s: utilization %.2f out of range", r.App, p, u)
+			}
+		}
+		bam = append(bam, r.Utilization["BaM"])
+		reuse = append(reuse, r.Utilization["GMT-Reuse"])
+	}
+	// The host tier's faster fills raise warp utilization on average.
+	if mean(reuse) <= mean(bam) {
+		t.Fatalf("GMT-Reuse utilization %.3f not above BaM %.3f", mean(reuse), mean(bam))
+	}
+}
+
+func TestSSDScalingChart(t *testing.T) {
+	rows, _ := SSDSensitivity(shared)
+	chart := SSDScalingChart(rows)
+	for _, app := range SensitivityApps {
+		if !strings.Contains(chart, app) {
+			t.Fatalf("chart missing %s:\n%s", app, chart)
+		}
+	}
+	if !strings.Contains(chart, "#") {
+		t.Fatal("chart has no bars")
+	}
+}

@@ -1,0 +1,145 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§3): each driver runs the necessary simulations and
+// renders the same rows/series the paper reports. Experiment results are
+// deterministic for a given scale and seed.
+package exp
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt/internal/baseline"
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// Policies in the order the paper's figures present them.
+var Policies = []core.PolicyKind{
+	core.PolicyTierOrder, core.PolicyRandom, core.PolicyReuse,
+}
+
+// Suite caches workloads, traces, and simulation results for one scale,
+// so figures sharing runs (8, 9, 10, 14) pay for each simulation once.
+type Suite struct {
+	Scale workload.Scale
+	GPU   gpu.Config
+	Seed  int64
+
+	apps    []workload.Workload
+	traces  map[string][]gpu.Access
+	results map[string]stats.Run
+}
+
+// NewSuite builds the nine-application suite at the given scale.
+func NewSuite(scale workload.Scale) *Suite {
+	return &Suite{
+		Scale:   scale,
+		GPU:     gpu.DefaultConfig(),
+		Seed:    1,
+		apps:    workload.All(scale),
+		traces:  make(map[string][]gpu.Access),
+		results: make(map[string]stats.Run),
+	}
+}
+
+// NewRegularSuite builds only the non-graph applications (Figure 13).
+func NewRegularSuite(scale workload.Scale) *Suite {
+	s := NewSuite(scale)
+	s.apps = workload.Regular(scale)
+	return s
+}
+
+// Apps reports the suite's workloads.
+func (s *Suite) Apps() []workload.Workload { return s.apps }
+
+// Trace returns (and caches) the workload's access trace.
+func (s *Suite) Trace(w workload.Workload) []gpu.Access {
+	tr, ok := s.traces[w.Name()]
+	if !ok {
+		tr = w.Trace()
+		s.traces[w.Name()] = tr
+	}
+	return tr
+}
+
+// config builds the runtime configuration for one policy at this scale.
+func (s *Suite) config(p core.PolicyKind) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Policy = p
+	cfg.Tier1Pages = s.Scale.Tier1Pages
+	cfg.Tier2Pages = s.Scale.Tier2Pages
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// Run simulates the workload under a GMT policy (or BaM), returning the
+// run metrics with WallTime filled in. Results are memoized.
+func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
+	key := w.Name() + "/" + p.String()
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	eng := sim.NewEngine()
+	rt := core.NewRuntime(eng, s.config(p))
+	g := gpu.New(eng, s.GPU, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
+	g.Launch()
+	eng.Run()
+	if !g.Done() {
+		panic(fmt.Sprintf("exp: %s under %v did not finish", w.Name(), p))
+	}
+	m := rt.Snapshot()
+	m.App = w.Name()
+	m.WallTime = eng.Now()
+	m.WarpComputeNS = g.ComputeTime()
+	m.WarpStallNS = g.StallTime()
+	s.results[key] = m
+	return m
+}
+
+// RunHMM simulates the workload under the CPU-orchestrated baseline.
+// forcedHitRate < 0 runs real HMM; otherwise the §3.6 optimistic
+// variant.
+func (s *Suite) RunHMM(w workload.Workload, forcedHitRate float64) stats.Run {
+	key := fmt.Sprintf("%s/HMM/%.3f", w.Name(), forcedHitRate)
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	cfg := baseline.DefaultHMMConfig()
+	cfg.Tier1Pages = s.Scale.Tier1Pages
+	cfg.PageCachePages = s.Scale.Tier2Pages
+	cfg.ForcedHitRate = forcedHitRate
+	cfg.Seed = s.Seed
+	eng := sim.NewEngine()
+	h := baseline.NewHMM(eng, cfg)
+	g := gpu.New(eng, s.GPU, &gpu.SliceStream{Trace: s.Trace(w)}, h)
+	g.Launch()
+	eng.Run()
+	if !g.Done() {
+		panic(fmt.Sprintf("exp: %s under HMM did not finish", w.Name()))
+	}
+	m := h.Snapshot()
+	m.App = w.Name()
+	m.WallTime = eng.Now()
+	s.results[key] = m
+	return m
+}
+
+// Speedup reports base/t for the workload under policy p vs BaM.
+func (s *Suite) Speedup(w workload.Workload, p core.PolicyKind) float64 {
+	return s.Run(w, p).SpeedupOver(s.Run(w, core.PolicyBaM))
+}
+
+// geomean of a slice (arithmetic mean matches the paper's "average
+// speedup" phrasing; both are reported by drivers where useful).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

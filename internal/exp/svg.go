@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"strconv"
+
+	"github.com/gmtsim/gmt/internal/plot"
+)
+
+// SVG builders: convert experiment rows into renderable figures for
+// `gmtbench -svg`.
+
+// Figure6bSVG renders the transfer-scheme bandwidth sweep as lines over
+// skew.
+func Figure6bSVG(rows []Figure6bRow) *plot.Figure {
+	f := plot.NewFigure("Figure 6b: delivered bandwidth for zipf page accesses",
+		"zipf skew", "GB/s")
+	f.Line = true
+	var dma, zc, h8, h16, h32 []float64
+	for _, r := range rows {
+		f.Labels = append(f.Labels, trimFloat(r.Skew))
+		dma = append(dma, r.DMA)
+		zc = append(zc, r.ZeroCopy)
+		h8 = append(h8, r.Hybrid8)
+		h16 = append(h16, r.Hybrid16)
+		h32 = append(h32, r.Hybrid32)
+	}
+	f.Add("cudaMemcpyAsync", dma)
+	f.Add("zero-copy", zc)
+	f.Add("Hybrid-8T", h8)
+	f.Add("Hybrid-16T", h16)
+	f.Add("Hybrid-32T", h32)
+	return f
+}
+
+// Figure8SVG renders the headline speedup chart as grouped bars with
+// the BaM baseline at 1.0.
+func Figure8SVG(rows []Figure8Row) *plot.Figure {
+	f := plot.NewFigure("Figure 8a: speedup over BaM (Tier-2 = 4x Tier-1, OSF = 2)",
+		"application", "speedup (x)")
+	f.Baseline = 1.0
+	var to, rnd, reuse []float64
+	for _, r := range rows {
+		f.Labels = append(f.Labels, r.App)
+		to = append(to, r.Speedup["GMT-TierOrder"])
+		rnd = append(rnd, r.Speedup["GMT-Random"])
+		reuse = append(reuse, r.Speedup["GMT-Reuse"])
+	}
+	f.Add("GMT-TierOrder", to)
+	f.Add("GMT-Random", rnd)
+	f.Add("GMT-Reuse", reuse)
+	return f
+}
+
+// Figure9SVG renders prediction accuracy bars.
+func Figure9SVG(rows []Figure9Row) *plot.Figure {
+	f := plot.NewFigure("Figure 9: GMT-Reuse prediction accuracy", "application", "accuracy")
+	var acc []float64
+	for _, r := range rows {
+		f.Labels = append(f.Labels, r.App)
+		acc = append(acc, r.Accuracy)
+	}
+	f.Add("accuracy", acc)
+	return f
+}
+
+// Figure12SVG renders the Tier-2:Tier-1 ratio sweep.
+func Figure12SVG(byRatio map[int][]SensitivityRow) *plot.Figure {
+	f := plot.NewFigure("Figure 12: GMT-Reuse speedup over BaM by Tier-2:Tier-1 ratio",
+		"application", "speedup (x)")
+	f.Baseline = 1.0
+	for _, ratio := range []int{2, 4, 8} {
+		var vals []float64
+		for _, r := range byRatio[ratio] {
+			if ratio == 2 {
+				f.Labels = append(f.Labels, r.App)
+			}
+			vals = append(vals, r.Speedup["GMT-Reuse"])
+		}
+		switch ratio {
+		case 2:
+			f.Add("ratio 2", vals)
+		case 4:
+			f.Add("ratio 4", vals)
+		case 8:
+			f.Add("ratio 8", vals)
+		}
+	}
+	return f
+}
+
+// Figure14SVG renders the HMM comparison.
+func Figure14SVG(rows []Figure14Row) *plot.Figure {
+	f := plot.NewFigure("Figure 14: speedup of HMM and GMT-Reuse over BaM",
+		"application", "speedup (x)")
+	f.Baseline = 1.0
+	var hmm, reuse []float64
+	for _, r := range rows {
+		f.Labels = append(f.Labels, r.App)
+		hmm = append(hmm, r.HMMSpeedup)
+		reuse = append(reuse, r.ReuseSpeedup)
+	}
+	f.Add("HMM", hmm)
+	f.Add("GMT-Reuse", reuse)
+	return f
+}
+
+// SSDSensitivitySVG renders the storage-generation sweep as lines.
+func SSDSensitivitySVG(rows []SSDRow) *plot.Figure {
+	f := plot.NewFigure("SSD sensitivity: GMT-Reuse speedup over BaM by storage generation",
+		"storage generation", "speedup (x)")
+	f.Line = true
+	f.Baseline = 1.0
+	series := map[string][]float64{}
+	var apps []string
+	for _, g := range SSDGens {
+		f.Labels = append(f.Labels, g.Name)
+	}
+	for _, r := range rows {
+		if _, ok := series[r.App]; !ok {
+			apps = append(apps, r.App)
+		}
+		series[r.App] = append(series[r.App], r.Speedup)
+	}
+	for _, app := range apps {
+		f.Add(app, series[app])
+	}
+	return f
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+func TestSVGBuilders(t *testing.T) {
+	rows8, _ := Figure8(shared)
+	f8 := Figure8SVG(rows8)
+	if len(f8.Labels) != 9 || len(f8.Series) != 3 {
+		t.Fatalf("fig8 svg: labels=%d series=%d", len(f8.Labels), len(f8.Series))
+	}
+	if out := f8.SVG(); !strings.Contains(out, "GMT-Reuse") {
+		t.Fatal("fig8 svg missing series")
+	}
+
+	rows6, _ := Figure6b(xfer.DefaultConfig())
+	f6 := Figure6bSVG(rows6)
+	if !f6.Line || len(f6.Series) != 5 {
+		t.Fatalf("fig6b svg: line=%v series=%d", f6.Line, len(f6.Series))
+	}
+
+	rows9, _ := Figure9(shared)
+	if f := Figure9SVG(rows9); len(f.Labels) != 9 {
+		t.Fatalf("fig9 svg labels = %d", len(f.Labels))
+	}
+
+	byRatio, _ := Figure12(testScale())
+	if f := Figure12SVG(byRatio); len(f.Series) != 3 || len(f.Labels) != 9 {
+		t.Fatalf("fig12 svg: series=%d labels=%d", len(f.Series), len(f.Labels))
+	}
+
+	rows14, _ := Figure14(shared)
+	if f := Figure14SVG(rows14); len(f.Series) != 2 {
+		t.Fatalf("fig14 svg series = %d", len(f.Series))
+	}
+
+	rowsSSD, _ := SSDSensitivity(shared)
+	fs := SSDSensitivitySVG(rowsSSD)
+	if len(fs.Labels) != len(SSDGens) || len(fs.Series) != len(SensitivityApps) {
+		t.Fatalf("ssd svg: labels=%d series=%d", len(fs.Labels), len(fs.Series))
+	}
+	// Every series must span all generations.
+	for _, s := range fs.Series {
+		if len(s.Values) != len(SSDGens) {
+			t.Fatalf("series %s has %d values", s.Name, len(s.Values))
+		}
+	}
+}

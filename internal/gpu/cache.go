@@ -1,0 +1,121 @@
+package gpu
+
+import (
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// CacheConfig sizes a page-granular model of the GPU's L2 cache. The
+// cache sits between warps and the tiering runtime and absorbs repeat
+// touches of recently used pages — the effect the paper's DynaMap
+// citation [9] exploits ("pages whose spatial locality can be fulfilled
+// by the GPU caches alone"). The workload generators already fold
+// warp-level coalescing into their traces, so experiments run without
+// it; it is available for library users who feed raw traces.
+type CacheConfig struct {
+	// Sets and Ways give a set-associative geometry over page IDs;
+	// capacity is Sets*Ways pages.
+	Sets, Ways int
+	// HitLatency is the service time of a cache hit.
+	HitLatency sim.Time
+}
+
+// DefaultCacheConfig models an A100-class 40 MB L2 at page granularity:
+// 640 pages, 16-way.
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{Sets: 40, Ways: 16, HitLatency: 200 * sim.Nanosecond}
+}
+
+type cacheLine struct {
+	page  tier.PageID
+	dirty bool
+	// lru is a per-set sequence number; higher = more recent.
+	lru int64
+}
+
+// Cache is a write-back, page-granular L2 model decorating another
+// MemoryManager. Dirty line evictions forward a write access to the
+// inner manager so page dirty-tracking stays correct.
+type Cache struct {
+	eng   *sim.Engine
+	cfg   CacheConfig
+	inner MemoryManager
+	sets  [][]cacheLine
+	tick  int64
+
+	hits, misses int64
+	writebacks   int64
+}
+
+var _ MemoryManager = (*Cache)(nil)
+
+// NewCache wraps inner with an L2 model.
+func NewCache(eng *sim.Engine, cfg CacheConfig, inner MemoryManager) *Cache {
+	if cfg.Sets < 1 || cfg.Ways < 1 {
+		panic("gpu: cache needs at least one set and way")
+	}
+	return &Cache{
+		eng:   eng,
+		cfg:   cfg,
+		inner: inner,
+		sets:  make([][]cacheLine, cfg.Sets),
+	}
+}
+
+// Access implements MemoryManager.
+func (c *Cache) Access(a Access, done func()) {
+	c.tick++
+	si := int(int64(a.Page) % int64(c.cfg.Sets))
+	if si < 0 {
+		si += c.cfg.Sets
+	}
+	set := c.sets[si]
+	for i := range set {
+		if set[i].page == a.Page {
+			c.hits++
+			set[i].lru = c.tick
+			if a.Write {
+				set[i].dirty = true
+			}
+			c.eng.After(c.cfg.HitLatency, done)
+			return
+		}
+	}
+	c.misses++
+	// Fill: the inner manager resolves the page; the line is installed
+	// when data arrives, possibly writing back a dirty victim.
+	c.inner.Access(a, func() {
+		c.install(si, a)
+		done()
+	})
+}
+
+func (c *Cache) install(si int, a Access) {
+	set := c.sets[si]
+	if len(set) < c.cfg.Ways {
+		c.sets[si] = append(set, cacheLine{page: a.Page, dirty: a.Write, lru: c.tick})
+		return
+	}
+	victim := 0
+	for i := range set {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].dirty {
+		c.writebacks++
+		// The dirty page data returns to the memory system; the inner
+		// manager sees it as a write access (usually a Tier-1 hit).
+		c.inner.Access(Access{Page: set[victim].page, Write: true}, func() {})
+	}
+	set[victim] = cacheLine{page: a.Page, dirty: a.Write, lru: c.tick}
+}
+
+// Hits reports cache hits.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports cache misses (accesses forwarded to the inner manager).
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Writebacks reports dirty-line evictions forwarded as writes.
+func (c *Cache) Writebacks() int64 { return c.writebacks }

@@ -1,0 +1,131 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// countingManager records forwarded accesses.
+type countingManager struct {
+	accesses []Access
+}
+
+func (m *countingManager) Access(a Access, done func()) {
+	m.accesses = append(m.accesses, a)
+	done()
+}
+
+func TestCacheAbsorbsRepeatTouches(t *testing.T) {
+	eng := sim.NewEngine()
+	inner := &countingManager{}
+	c := NewCache(eng, CacheConfig{Sets: 4, Ways: 2, HitLatency: 1}, inner)
+	trace := []Access{{Page: 1}, {Page: 1}, {Page: 1}, {Page: 2}, {Page: 1}}
+	g := New(eng, Config{Warps: 1, ComputePerAccess: 1}, &SliceStream{Trace: trace}, c)
+	g.Launch()
+	eng.Run()
+	if len(inner.accesses) != 2 { // pages 1 and 2, once each
+		t.Fatalf("inner saw %d accesses, want 2: %v", len(inner.accesses), inner.accesses)
+	}
+	if c.Hits() != 3 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	eng := sim.NewEngine()
+	inner := &countingManager{}
+	// One set, 2 ways: pages 0, 4, 8 (all map to set 0 with 4 sets).
+	c := NewCache(eng, CacheConfig{Sets: 4, Ways: 2, HitLatency: 1}, inner)
+	trace := []Access{
+		{Page: 0}, {Page: 4}, // fill both ways
+		{Page: 0}, // touch 0: now 4 is LRU
+		{Page: 8}, // evicts 4
+		{Page: 0}, // still cached
+		{Page: 4}, // miss again
+	}
+	g := New(eng, Config{Warps: 1, ComputePerAccess: 1}, &SliceStream{Trace: trace}, c)
+	g.Launch()
+	eng.Run()
+	if c.Misses() != 4 { // 0, 4, 8, 4
+		t.Fatalf("misses = %d, want 4", c.Misses())
+	}
+	if c.Hits() != 2 {
+		t.Fatalf("hits = %d, want 2", c.Hits())
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	eng := sim.NewEngine()
+	inner := &countingManager{}
+	c := NewCache(eng, CacheConfig{Sets: 1, Ways: 1, HitLatency: 1}, inner)
+	trace := []Access{
+		{Page: 0, Write: true}, // dirty line
+		{Page: 1},              // evicts 0: must write back
+	}
+	g := New(eng, Config{Warps: 1, ComputePerAccess: 1}, &SliceStream{Trace: trace}, c)
+	g.Launch()
+	eng.Run()
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks())
+	}
+	// Inner saw: fill(0,W), fill(1), writeback(0,W).
+	found := false
+	for _, a := range inner.accesses[1:] {
+		if a.Page == 0 && a.Write {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dirty page never written back: %v", inner.accesses)
+	}
+}
+
+func TestCacheWriteHitMarksDirty(t *testing.T) {
+	eng := sim.NewEngine()
+	inner := &countingManager{}
+	c := NewCache(eng, CacheConfig{Sets: 1, Ways: 1, HitLatency: 1}, inner)
+	trace := []Access{
+		{Page: 0},              // clean fill
+		{Page: 0, Write: true}, // write hit dirties the line
+		{Page: 1},              // eviction must write back
+	}
+	g := New(eng, Config{Warps: 1, ComputePerAccess: 1}, &SliceStream{Trace: trace}, c)
+	g.Launch()
+	eng.Run()
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks())
+	}
+}
+
+func TestCacheReducesRuntimePressure(t *testing.T) {
+	// A stencil-like trace with tight reuse: the cache should absorb
+	// the bulk of accesses before they reach the tiering layer.
+	var trace []Access
+	for p := tier.PageID(0); p < 200; p++ {
+		trace = append(trace, Access{Page: p})
+		if p >= 2 {
+			trace = append(trace, Access{Page: p - 1}, Access{Page: p - 2})
+		}
+	}
+	eng := sim.NewEngine()
+	inner := &countingManager{}
+	c := NewCache(eng, DefaultCacheConfig(), inner)
+	g := New(eng, Config{Warps: 4, ComputePerAccess: 1}, &SliceStream{Trace: trace}, c)
+	g.Launch()
+	eng.Run()
+	if int64(len(inner.accesses)) > c.Hits() {
+		t.Fatalf("cache absorbed too little: %d forwarded vs %d hits",
+			len(inner.accesses), c.Hits())
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-way cache did not panic")
+		}
+	}()
+	NewCache(sim.NewEngine(), CacheConfig{Sets: 1}, &countingManager{})
+}

@@ -1,0 +1,188 @@
+// Package gpu models the SIMT execution of a GPU kernel at the
+// granularity GMT operates on: coalesced per-warp accesses to 64 KiB
+// pages. Warps issue accesses from a workload stream, perform a fixed
+// amount of compute per access, and stall on demand misses until the
+// memory manager (BaM, HMM, or GMT) delivers the page. Because many warps
+// run concurrently, misses from different warps overlap — the access
+// parallelism that GPU-orchestrated tiering exists to serve.
+package gpu
+
+import (
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// WarpThreads is the SIMT width: the threads of a warp coalesce into one
+// page access and can jointly drive zero-copy transfers.
+const WarpThreads = 32
+
+// Access is one coalesced page reference.
+type Access struct {
+	Page  tier.PageID
+	Write bool
+}
+
+// BarrierPage is a sentinel: an Access with this page is a kernel-wide
+// barrier (a kernel-launch boundary or grid sync). Every warp must
+// arrive before any may continue — the synchronization structure of
+// iterative kernels (stencil sweeps, BFS levels), which bounds how much
+// miss latency can overlap across iterations.
+const BarrierPage tier.PageID = -1
+
+// Barrier is the barrier access value.
+var Barrier = Access{Page: BarrierPage}
+
+// IsBarrier reports whether a is a barrier token.
+func (a Access) IsBarrier() bool { return a.Page == BarrierPage }
+
+// Stream supplies a kernel's coalesced access sequence. Implementations
+// are the workload generators; warps consume the stream in order, so the
+// global access order (and therefore VTD/RRD semantics) is preserved
+// while execution is spread across warps.
+type Stream interface {
+	// Next reports the next access; ok is false when the kernel is done.
+	Next() (a Access, ok bool)
+}
+
+// SliceStream adapts a fixed trace to a Stream.
+type SliceStream struct {
+	Trace []Access
+	pos   int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.Trace) {
+		return Access{}, false
+	}
+	a := s.Trace[s.pos]
+	s.pos++
+	return a, true
+}
+
+// MemoryManager resolves coalesced accesses. done must be invoked exactly
+// once, at the virtual time the data is available to the warp; it may be
+// invoked synchronously for resident pages.
+type MemoryManager interface {
+	Access(a Access, done func())
+}
+
+// Config sizes the execution model.
+type Config struct {
+	// Warps is the number of concurrently resident warps.
+	Warps int
+	// ComputePerAccess is the busy time a warp spends per coalesced
+	// access once its data is resident.
+	ComputePerAccess sim.Time
+}
+
+// DefaultConfig models a kernel keeping an A100-class GPU busy.
+func DefaultConfig() Config {
+	return Config{Warps: 256, ComputePerAccess: 200 * sim.Nanosecond}
+}
+
+// GPU drives a Stream through a MemoryManager on a simulation engine.
+type GPU struct {
+	eng    *sim.Engine
+	cfg    Config
+	stream Stream
+	mm     MemoryManager
+
+	accesses int64
+	stall    sim.Time
+	compute  sim.Time
+	active   int
+	finished bool
+
+	// Barrier state: once one warp consumes the barrier token from the
+	// shared stream, barPending parks every other warp as it completes
+	// its in-flight work, until all active warps have arrived.
+	barPending bool
+	barWaiting int
+	barriers   int64
+}
+
+// New returns an unlaunched GPU kernel execution.
+func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
+	if cfg.Warps < 1 {
+		panic("gpu: need at least one warp")
+	}
+	return &GPU{eng: eng, cfg: cfg, stream: stream, mm: mm}
+}
+
+// Launch schedules all warps at the current virtual time. Run the engine
+// to completion afterwards; Done reports kernel completion.
+func (g *GPU) Launch() {
+	for w := 0; w < g.cfg.Warps; w++ {
+		g.active++
+		g.eng.After(0, g.warpStep)
+	}
+}
+
+func (g *GPU) warpStep() {
+	if g.barPending {
+		g.barWaiting++
+		g.checkBarrier()
+		return
+	}
+	a, ok := g.stream.Next()
+	if !ok {
+		g.active--
+		if g.active == 0 {
+			g.finished = true
+		}
+		g.checkBarrier()
+		return
+	}
+	if a.IsBarrier() {
+		g.barPending = true
+		g.barWaiting++
+		g.checkBarrier()
+		return
+	}
+	g.accesses++
+	issued := g.eng.Now()
+	g.mm.Access(a, func() {
+		g.stall += g.eng.Now() - issued
+		g.compute += g.cfg.ComputePerAccess
+		g.eng.After(g.cfg.ComputePerAccess, g.warpStep)
+	})
+}
+
+// checkBarrier releases parked warps once every still-active warp has
+// arrived. Warps that drained the stream entirely do not count toward
+// the rendezvous (a finished thread block never blocks a grid sync).
+func (g *GPU) checkBarrier() {
+	if !g.barPending || g.barWaiting < g.active {
+		return
+	}
+	g.barriers++
+	g.barPending = false
+	n := g.barWaiting
+	g.barWaiting = 0
+	for i := 0; i < n; i++ {
+		g.eng.After(0, g.warpStep)
+	}
+}
+
+// Accesses reports coalesced accesses issued so far.
+func (g *GPU) Accesses() int64 { return g.accesses }
+
+// StallTime reports cumulative warp time spent waiting on memory.
+func (g *GPU) StallTime() sim.Time { return g.stall }
+
+// ComputeTime reports cumulative warp busy time.
+func (g *GPU) ComputeTime() sim.Time { return g.compute }
+
+// Done reports whether every warp has drained the stream.
+func (g *GPU) Done() bool { return g.finished }
+
+// Barriers reports how many kernel-wide barriers completed.
+func (g *GPU) Barriers() int64 { return g.barriers }
+
+// ResidentManager is a trivial MemoryManager where every page is already
+// resident: useful for tests and for measuring pure compute time.
+type ResidentManager struct{}
+
+// Access implements MemoryManager with zero latency.
+func (ResidentManager) Access(_ Access, done func()) { done() }

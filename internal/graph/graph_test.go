@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKronDeterministicAndSized(t *testing.T) {
+	a := GenerateKron(8, 4, 42)
+	b := GenerateKron(8, 4, 42)
+	if len(a) != 256*4 {
+		t.Fatalf("edges = %d, want %d", len(a), 256*4)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := GenerateKron(8, 4, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestKronSkewedDegrees(t *testing.T) {
+	// R-MAT graphs have hub vertices: max degree far above average.
+	edges := GenerateKron(12, 8, 7)
+	csr := BuildCSR(1<<12, edges)
+	var maxDeg int64
+	for v := int32(0); v < csr.N; v++ {
+		if d := csr.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8*8 {
+		t.Fatalf("max degree %d barely above mean 8; not skewed", maxDeg)
+	}
+}
+
+func TestKronBadScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scale=0 did not panic")
+		}
+	}()
+	GenerateKron(0, 4, 1)
+}
+
+func TestBuildCSRTiny(t *testing.T) {
+	//   0 -> 1 (w2), 0 -> 2 (w5), 1 -> 2 (w1), 3 isolated
+	edges := []Edge{{1, 2, 1}, {0, 2, 5}, {0, 1, 2}}
+	c := BuildCSR(4, edges)
+	if c.M() != 3 {
+		t.Fatalf("M = %d", c.M())
+	}
+	if c.Degree(0) != 2 || c.Degree(1) != 1 || c.Degree(2) != 0 || c.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %v", c.Offsets)
+	}
+	nb := c.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors(0) = %v", nb)
+	}
+	if c.Weight[c.Offsets[0]] != 2 {
+		t.Fatalf("weight(0->1) = %d, want 2", c.Weight[c.Offsets[0]])
+	}
+}
+
+func TestBFSTinyGraph(t *testing.T) {
+	// 0 -> 1 -> 2, 0 -> 3; 4 unreachable.
+	c := BuildCSR(5, []Edge{{0, 1, 1}, {1, 2, 1}, {0, 3, 1}})
+	lv := BFS(c, 0)
+	want := []int32{0, 1, 2, 1, Unreached}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", lv, want)
+		}
+	}
+}
+
+// naive BFS by repeated relaxation, for the property test.
+func naiveBFS(c *CSR, src int32) []int32 {
+	lv := make([]int32, c.N)
+	for i := range lv {
+		lv[i] = math.MaxInt32
+	}
+	lv[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := int32(0); v < c.N; v++ {
+			if lv[v] == math.MaxInt32 {
+				continue
+			}
+			for _, w := range c.Neighbors(v) {
+				if lv[v]+1 < lv[w] {
+					lv[w] = lv[v] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	for i := range lv {
+		if lv[i] == math.MaxInt32 {
+			lv[i] = Unreached
+		}
+	}
+	return lv
+}
+
+func TestBFSMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		edges := GenerateKron(6, 4, seed)
+		c := BuildCSR(64, edges)
+		got := BFS(c, 0)
+		want := naiveBFS(c, 0)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSSPTinyGraph(t *testing.T) {
+	// 0 -(5)-> 1, 0 -(2)-> 2, 2 -(2)-> 1: shortest 0->1 is 4 via 2.
+	c := BuildCSR(4, []Edge{{0, 1, 5}, {0, 2, 2}, {2, 1, 2}})
+	d := SSSP(c, 0)
+	if d[0] != 0 || d[1] != 4 || d[2] != 2 || d[3] != -1 {
+		t.Fatalf("dist = %v, want [0 4 2 -1]", d)
+	}
+}
+
+// naive Bellman-Ford for the property test.
+func naiveSSSP(c *CSR, src int32) []int64 {
+	const inf = int64(1) << 62
+	d := make([]int64, c.N)
+	for i := range d {
+		d[i] = inf
+	}
+	d[src] = 0
+	for round := int32(0); round < c.N; round++ {
+		for v := int32(0); v < c.N; v++ {
+			if d[v] == inf {
+				continue
+			}
+			off := c.Offsets[v]
+			for i, w := range c.Neighbors(v) {
+				if nd := d[v] + int64(c.Weight[off+int64(i)]); nd < d[w] {
+					d[w] = nd
+				}
+			}
+		}
+	}
+	for i := range d {
+		if d[i] == inf {
+			d[i] = -1
+		}
+	}
+	return d
+}
+
+func TestSSSPMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		edges := GenerateKron(6, 4, seed)
+		c := BuildCSR(64, edges)
+		got := SSSP(c, 0)
+		want := naiveSSSP(c, 0)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageRankConservesMass(t *testing.T) {
+	edges := GenerateKron(10, 8, 3)
+	c := BuildCSR(1<<10, edges)
+	rank := PageRank(c, 10, 0.85)
+	var sum, leaked float64
+	for v := int32(0); v < c.N; v++ {
+		sum += rank[v]
+		if c.Degree(v) == 0 {
+			leaked += rank[v]
+		}
+	}
+	// Dangling vertices leak mass each round; the sum must stay within
+	// (0, 1] and close to 1 minus the dangling leakage.
+	if sum <= 0 || sum > 1.0001 {
+		t.Fatalf("rank mass = %g, want in (0, 1]", sum)
+	}
+	_ = leaked
+}
+
+func TestPageRankFavorsHubs(t *testing.T) {
+	// Star: everyone points at vertex 0.
+	var edges []Edge
+	for v := int32(1); v < 50; v++ {
+		edges = append(edges, Edge{v, 0, 1})
+	}
+	c := BuildCSR(50, edges)
+	rank := PageRank(c, 20, 0.85)
+	for v := int32(1); v < 50; v++ {
+		if rank[0] <= rank[v] {
+			t.Fatalf("hub rank %g not above leaf rank %g", rank[0], rank[v])
+		}
+	}
+}

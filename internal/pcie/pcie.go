@@ -1,0 +1,61 @@
+// Package pcie models a PCIe interconnect as a pair of directional
+// bandwidth pipes (host-to-device and device-to-host) with a propagation
+// latency. GMT's platform (Table 1 of the paper) uses PCIe Gen3 x16
+// between GPU and host, and Gen3 x4 between the SSD and the switch.
+//
+// The model captures the two properties the paper's transfer study
+// (Figure 6) depends on: a shared, saturable byte rate per direction, and
+// per-transaction latency that pipelines across outstanding transfers.
+package pcie
+
+import "github.com/gmtsim/gmt/internal/sim"
+
+// Per-lane effective data rate for PCIe generations, in bytes/second.
+// These are effective rates after 128b/130b encoding and protocol
+// overhead (~80% of the raw signaling rate), matching the ~12.8 GB/s the
+// paper observes on Gen3 x16.
+const (
+	Gen3LaneBytesPerS = 800_000_000 // 8 GT/s lane ≈ 0.8 GB/s effective
+	Gen4LaneBytesPerS = 1_600_000_000
+)
+
+// DefaultLatency is the one-way PCIe transaction latency.
+const DefaultLatency = 900 * sim.Nanosecond
+
+// Link is a full-duplex PCIe connection.
+type Link struct {
+	// Up carries data toward the device at the "far" end (e.g. writes
+	// from GPU to host memory); Down carries data back (e.g. reads).
+	Up, Down *sim.Pipe
+
+	lanes int
+	bw    int64
+}
+
+// NewLink returns a Gen3 link with the given lane count.
+func NewLink(eng *sim.Engine, lanes int) *Link {
+	return NewLinkRate(eng, lanes, Gen3LaneBytesPerS, DefaultLatency)
+}
+
+// NewLinkRate returns a link with an explicit per-lane rate and latency.
+func NewLinkRate(eng *sim.Engine, lanes int, laneBytesPerS int64, latency sim.Time) *Link {
+	if lanes < 1 {
+		panic("pcie: lanes must be >= 1")
+	}
+	bw := int64(lanes) * laneBytesPerS
+	return &Link{
+		Up:    sim.NewPipe(eng, bw, latency),
+		Down:  sim.NewPipe(eng, bw, latency),
+		lanes: lanes,
+		bw:    bw,
+	}
+}
+
+// Lanes reports the link width.
+func (l *Link) Lanes() int { return l.lanes }
+
+// BytesPerSecond reports the per-direction bandwidth.
+func (l *Link) BytesPerSecond() int64 { return l.bw }
+
+// TotalBytes reports bytes moved in both directions.
+func (l *Link) TotalBytes() int64 { return l.Up.Bytes() + l.Down.Bytes() }

@@ -1,0 +1,181 @@
+// Package plot renders experiment results as standalone SVG figures —
+// the graphical counterpart of the stats package's text tables, so
+// `gmtbench -svg` can emit actual figures for every reproduced chart.
+// Pure stdlib: SVGs are assembled as XML text.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of y-values over shared x-labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a grouped bar or line chart over categorical x-labels.
+type Figure struct {
+	Title  string
+	YLabel string
+	XLabel string
+	Labels []string
+	Series []Series
+	// Line selects a line chart instead of grouped bars.
+	Line bool
+	// Baseline draws a horizontal reference (e.g. 1.0 for speedups);
+	// NaN disables it.
+	Baseline float64
+}
+
+// NewFigure returns a figure with no baseline.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel, Baseline: math.NaN()}
+}
+
+// Add appends a series; its values align with Labels.
+func (f *Figure) Add(name string, values []float64) {
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+}
+
+// palette holds distinguishable fill colors for up to six series.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+const (
+	width   = 840.0
+	height  = 480.0
+	marginL = 70.0
+	marginR = 160.0
+	marginT = 50.0
+	marginB = 70.0
+)
+
+// SVG renders the figure.
+func (f *Figure) SVG() string {
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	maxY := 0.0
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if !math.IsNaN(f.Baseline) && f.Baseline > maxY {
+		maxY = f.Baseline
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.1
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="28" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Y ticks and gridlines.
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := marginT + plotH - plotH*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%.2f</text>`+"\n",
+			marginL-6, y+4, v)
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-16, escape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 18 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(f.YLabel))
+
+	// Baseline.
+	if !math.IsNaN(f.Baseline) {
+		y := marginT + plotH - plotH*f.Baseline/maxY
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-dasharray="5,4"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+	}
+
+	n := len(f.Labels)
+	if n > 0 {
+		slot := plotW / float64(n)
+		// X labels.
+		for i, l := range f.Labels {
+			x := marginL + slot*(float64(i)+0.5)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end" transform="rotate(-30 %.1f %.1f)">%s</text>`+"\n",
+				x, marginT+plotH+16, x, marginT+plotH+16, escape(l))
+		}
+		if f.Line {
+			f.drawLines(&b, slot, plotH, maxY)
+		} else {
+			f.drawBars(&b, slot, plotH, maxY)
+		}
+	}
+
+	// Legend.
+	for si, s := range f.Series {
+		y := marginT + 14 + float64(si)*18
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n",
+			width-marginR+12, y-10, color(si))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n",
+			width-marginR+30, y, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (f *Figure) drawBars(b *strings.Builder, slot, plotH, maxY float64) {
+	groups := float64(len(f.Series))
+	barW := slot * 0.8 / groups
+	for si, s := range f.Series {
+		for i, v := range s.Values {
+			if i >= len(f.Labels) || v <= 0 {
+				continue
+			}
+			h := plotH * v / maxY
+			x := marginL + slot*float64(i) + slot*0.1 + barW*float64(si)
+			y := marginT + plotH - h
+			fmt.Fprintf(b, `<rect class="bar" x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, h, color(si))
+		}
+	}
+}
+
+func (f *Figure) drawLines(b *strings.Builder, slot, plotH, maxY float64) {
+	for si, s := range f.Series {
+		var pts []string
+		for i, v := range s.Values {
+			if i >= len(f.Labels) {
+				break
+			}
+			x := marginL + slot*(float64(i)+0.5)
+			y := marginT + plotH - plotH*v/maxY
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color(si))
+		for _, p := range pts {
+			var x, y float64
+			fmt.Sscanf(p, "%f,%f", &x, &y)
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color(si))
+		}
+	}
+}
+
+func color(i int) string { return palette[i%len(palette)] }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"encoding/xml"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sample() *Figure {
+	f := NewFigure("Speedup over BaM", "Application", "Speedup (x)")
+	f.Labels = []string{"Srad", "Hotspot"}
+	f.Add("GMT-TierOrder", []float64{1.03, 0.99})
+	f.Add("GMT-Reuse", []float64{1.75, 1.85})
+	f.Baseline = 1.0
+	return f
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := sample().SVG()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContents(t *testing.T) {
+	out := sample().SVG()
+	for _, want := range []string{
+		"Speedup over BaM", "Srad", "Hotspot", "GMT-Reuse",
+		"stroke-dasharray", // baseline
+		"<rect",            // bars
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+var rectRe = regexp.MustCompile(`<rect class="bar" x="[0-9.]+" y="[0-9.]+" width="[0-9.]+" height="([0-9.]+)" fill="#`)
+
+func TestSVGBarsProportional(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	f.Labels = []string{"a", "b"}
+	f.Add("s", []float64{1, 2})
+	out := f.SVG()
+	var heights []float64
+	for _, m := range rectRe.FindAllStringSubmatch(out, -1) {
+		h, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heights = append(heights, h)
+	}
+	if len(heights) != 2 {
+		t.Fatalf("bars = %d, want 2:\n%s", len(heights), out)
+	}
+	if ratio := heights[1] / heights[0]; ratio < 1.95 || ratio > 2.05 {
+		t.Fatalf("bar ratio = %.2f, want 2", ratio)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	f := NewFigure("trend", "skew", "GB/s")
+	f.Labels = []string{"0", "0.5", "1"}
+	f.Line = true
+	f.Add("zc", []float64{10, 7, 3})
+	out := f.SVG()
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "<circle") {
+		t.Fatalf("line chart missing marks:\n%s", out)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "", "")
+	out := f.SVG()
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("empty figure did not render")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	f := NewFigure(`a<b & "c"`, "", "")
+	out := f.SVG()
+	if strings.Contains(out, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escaped title missing:\n%s", out)
+	}
+}
+
+func TestZipfLegendColorsCycle(t *testing.T) {
+	f := NewFigure("many", "", "")
+	f.Labels = []string{"x"}
+	for i := 0; i < 8; i++ {
+		f.Add("s", []float64{1})
+	}
+	out := f.SVG()
+	// 8 series cycle the 6-color palette without panicking.
+	if strings.Count(out, palette[0]) < 2 {
+		t.Fatal("palette did not cycle")
+	}
+}

@@ -1,0 +1,85 @@
+// Package reuse implements GMT-Reuse's prediction machinery (paper
+// §2.1.3): virtual-timestamp distances (VTD) as a cheap proxy for reuse
+// distance, an exact reuse-distance tracker ("tree-based method") used by
+// the host-side sampling thread, ordinary-least-squares regression
+// mapping VTD→RD, the RRD equivalence-class classifier of Eq. 1, and the
+// 3-state Markov history predictor of Figure 5.
+package reuse
+
+import "github.com/gmtsim/gmt/internal/tier"
+
+// DistanceTracker computes, online, the exact reuse distance (number of
+// distinct pages accessed since the previous access of the same page) and
+// the VTD (number of accesses, unique or not, since the previous access).
+//
+// It is the model of the dedicated CPU thread that consumes GPU-pushed
+// samples and converts VTDs into true reuse distances.
+type DistanceTracker struct {
+	last map[tier.PageID]int
+	bit  fenwick
+	pos  int
+}
+
+// NewDistanceTracker returns an empty tracker.
+func NewDistanceTracker() *DistanceTracker {
+	return &DistanceTracker{last: make(map[tier.PageID]int)}
+}
+
+// Observe records an access to p and reports its VTD and reuse distance.
+// ok is false on the first access to p (no previous access exists).
+func (t *DistanceTracker) Observe(p tier.PageID) (vtd, rd int64, ok bool) {
+	cur := t.pos
+	t.pos++
+	if lp, seen := t.last[p]; seen {
+		vtd = int64(cur - lp)
+		// Distinct pages accessed strictly between the two accesses of
+		// p: pages whose most recent access lies in (lp, cur).
+		rd = t.bit.RangeSum(lp+1, cur-1)
+		ok = true
+		t.bit.Add(lp, -1)
+	}
+	t.bit.Add(cur, 1)
+	t.last[p] = cur
+	return vtd, rd, ok
+}
+
+// Accesses reports how many accesses have been observed.
+func (t *DistanceTracker) Accesses() int { return t.pos }
+
+// RangeQuery is a half-open distinct-count question over an access trace:
+// how many distinct pages appear in positions (From, To]?
+type RangeQuery struct {
+	From, To int
+}
+
+// DistinctInRanges answers distinct-page counts for many (From, To]
+// windows over trace in O((N+Q) log N). GMT's experiment drivers use it
+// to compute actual Remaining Reuse Distances at Tier-1 eviction points
+// (Figures 4b, 4c, and 7): the RRD of an eviction at position e whose
+// page is next accessed at position n is the distinct count in (e, n].
+func DistinctInRanges(trace []tier.PageID, queries []RangeQuery) []int64 {
+	ans := make([]int64, len(queries))
+	// Bucket queries by right endpoint.
+	byRight := make(map[int][]int)
+	for i, q := range queries {
+		if q.To >= len(trace) || q.To < 0 {
+			ans[i] = -1
+			continue
+		}
+		byRight[q.To] = append(byRight[q.To], i)
+	}
+	var bit fenwick
+	last := make(map[tier.PageID]int, len(trace)/4+1)
+	for t, p := range trace {
+		if lp, seen := last[p]; seen {
+			bit.Add(lp, -1)
+		}
+		bit.Add(t, 1)
+		last[p] = t
+		for _, qi := range byRight[t] {
+			q := queries[qi]
+			ans[qi] = bit.RangeSum(q.From+1, q.To)
+		}
+	}
+	return ans
+}

@@ -1,0 +1,66 @@
+package reuse
+
+// fenwick is a dynamically-growing binary indexed tree over access
+// positions, the "tree-based method" (paper §2.1.3, refs [13,17]) used to
+// compute exact reuse distances from an access stream. Growth doubles
+// capacity and rebuilds in O(n), amortizing to O(log n) per operation.
+type fenwick struct {
+	tree []int64 // 1-based BIT over raw
+	raw  []int64
+}
+
+func (f *fenwick) grow(n int) {
+	if n <= len(f.raw) {
+		return
+	}
+	capa := len(f.raw)
+	if capa == 0 {
+		capa = 64
+	}
+	for capa < n {
+		capa *= 2
+	}
+	raw := make([]int64, capa)
+	copy(raw, f.raw)
+	f.raw = raw
+	// O(n) rebuild: seed leaves, then push partial sums to parents.
+	f.tree = make([]int64, capa+1)
+	for i, v := range f.raw {
+		f.tree[i+1] += v
+		if p := (i + 1) + ((i + 1) & -(i + 1)); p <= capa {
+			f.tree[p] += f.tree[i+1]
+		}
+	}
+}
+
+// Add adds delta at position i (0-based).
+func (f *fenwick) Add(i int, delta int64) {
+	f.grow(i + 1)
+	f.raw[i] += delta
+	for j := i + 1; j < len(f.tree); j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// PrefixSum reports the sum of positions [0, i].
+func (f *fenwick) PrefixSum(i int) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(f.raw) {
+		i = len(f.raw) - 1
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// RangeSum reports the sum of positions [lo, hi].
+func (f *fenwick) RangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return f.PrefixSum(hi) - f.PrefixSum(lo-1)
+}

@@ -1,0 +1,87 @@
+package reuse
+
+// Class is an RRD equivalence class (Eq. 1), naming the tier a page
+// should be placed in upon Tier-1 eviction.
+type Class uint8
+
+// The three classes of Eq. 1.
+const (
+	Short  Class = iota // RRD < |Tier-1|: retain in GPU memory
+	Medium              // |Tier-1| <= RRD < |Tier-1|+|Tier-2|: host memory
+	Long                // otherwise: SSD (or discard if clean)
+)
+
+func (c Class) String() string {
+	switch c {
+	case Short:
+		return "short-reuse"
+	case Medium:
+		return "medium-reuse"
+	case Long:
+		return "long-reuse"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier maps an RRD (in pages) to its class. The boundaries follow
+// Figure 7's demarcation: Tier-1 capacity, and Tier-1+Tier-2 capacity.
+type Classifier struct {
+	Tier1Pages int64
+	Tier2Pages int64
+}
+
+// Classify applies Eq. 1.
+func (cl Classifier) Classify(rrd int64) Class {
+	switch {
+	case rrd < cl.Tier1Pages:
+		return Short
+	case rrd < cl.Tier1Pages+cl.Tier2Pages:
+		return Medium
+	default:
+		return Long
+	}
+}
+
+// Markov is the 3-state Markov chain predictor of Figure 5. Each page
+// carries its last "correct" class (2 bits, the "negligible space" of
+// §2.1.3); the transition weights between the 2nd-last and last correct
+// classes are accumulated globally. Prediction for a page in state s is
+// the highest-weight transition out of s.
+type Markov struct {
+	w [3][3]int64
+}
+
+// Update records that a page whose previous correct class was prev turned
+// out to have correct class cur on its latest eviction.
+func (m *Markov) Update(prev, cur Class) { m.w[prev][cur]++ }
+
+// Predict reports the most likely next class for a page whose last
+// correct class is state. Ties prefer the self-transition (persistent
+// behavior like MultiVectorAdd, Fig. 4b), then the longer distance
+// (conservative: avoids polluting a nearer tier).
+func (m *Markov) Predict(state Class) Class {
+	row := m.w[state]
+	best := state
+	bestW := row[state]
+	for c := Long; ; c-- {
+		if c != state && row[c] > bestW {
+			best, bestW = c, row[c]
+		}
+		if c == Short {
+			break
+		}
+	}
+	return best
+}
+
+// Trained reports whether any transition out of state has been observed;
+// untrained states fall back to the runtime's default policy.
+func (m *Markov) Trained(state Class) bool {
+	row := m.w[state]
+	return row[0]+row[1]+row[2] > 0
+}
+
+// Weights returns a copy of the transition matrix (for introspection and
+// tests).
+func (m *Markov) Weights() [3][3]int64 { return m.w }

@@ -1,0 +1,109 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All GMT components — the GPU execution model, the NVMe SSD, the PCIe
+// link, and the tiering runtime — advance a single virtual clock owned by
+// an Engine. Events scheduled for the same instant fire in scheduling
+// order (FIFO), so a run is fully deterministic for a given seed.
+//
+// The engine is single-goroutine: callbacks run on the caller of Run, and
+// no synchronization is required inside components.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	steps  int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have been dispatched so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Pending reports how many events are scheduled but not yet dispatched.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a modeling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run dispatches events until none remain, advancing the clock.
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		e.step()
+	}
+}
+
+// RunUntil dispatches events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(5, func() {
+		times = append(times, e.Now())
+		e.After(7, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if times[0] != 5 || times[1] != 12 {
+		t.Fatalf("times = %v, want [5 12]", times)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 after Run", fired)
+	}
+}
+
+func TestEngineSteps(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		for i := 0; i < int(n)+1; i++ {
+			at := Time(rng.Intn(1000))
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerCapacity(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	var order []int
+	start := func(id int, hold Time) {
+		s.Acquire(func() {
+			order = append(order, id)
+			e.After(hold, s.Release)
+		})
+	}
+	start(1, 10)
+	start(2, 10)
+	start(3, 10) // must wait for 1 or 2
+	if s.InUse() != 2 || s.Queued() != 1 {
+		t.Fatalf("InUse=%d Queued=%d, want 2,1", s.InUse(), s.Queued())
+	}
+	e.Run()
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestServerFIFOGrants(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var order []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		s.Acquire(func() {
+			order = append(order, i)
+			e.After(1, s.Release)
+		})
+	}
+	e.Run()
+	for i := 0; i < 5; i++ {
+		if order[i] != i+1 {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+	if s.Grants() != 5 {
+		t.Fatalf("Grants = %d, want 5", s.Grants())
+	}
+}
+
+func TestServerUse(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var doneAt []Time
+	s.Use(10, func() { doneAt = append(doneAt, e.Now()) })
+	s.Use(10, func() { doneAt = append(doneAt, e.Now()) })
+	e.Run()
+	if doneAt[0] != 10 || doneAt[1] != 20 {
+		t.Fatalf("doneAt = %v, want [10 20]", doneAt)
+	}
+}
+
+func TestServerReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without Acquire did not panic")
+		}
+	}()
+	NewServer(NewEngine(), 1).Release()
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	e := NewEngine()
+	// 1 GB/s: 1000 bytes take 1000ns.
+	p := NewPipe(e, 1_000_000_000, 0)
+	var doneAt Time
+	p.Transfer(1000, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != 1000 {
+		t.Fatalf("1000B @ 1GB/s done at %d, want 1000", doneAt)
+	}
+}
+
+func TestPipeSerialization(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000, 0)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		p.Transfer(1000, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{1000, 2000, 3000}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestPipePipelinedLatency(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000, 500)
+	var ends []Time
+	p.Transfer(1000, func() { ends = append(ends, e.Now()) })
+	p.Transfer(1000, func() { ends = append(ends, e.Now()) })
+	e.Run()
+	// Latency delays completion but transfers still stream back to back:
+	// 1000+500, 2000+500 — not 1500+1500.
+	if ends[0] != 1500 || ends[1] != 2500 {
+		t.Fatalf("ends = %v, want [1500 2500]", ends)
+	}
+}
+
+func TestPipeIdleGap(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000, 0)
+	var end Time
+	e.At(5000, func() {
+		p.Transfer(1000, func() { end = e.Now() })
+	})
+	e.Run()
+	if end != 6000 {
+		t.Fatalf("end = %d, want 6000 (transfer starts at submission)", end)
+	}
+}
+
+// Property: cumulative pipe busy time equals the sum of per-transfer
+// occupancy regardless of submission pattern.
+func TestPipeBusyConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		p := NewPipe(e, 3_200_000_000, 100)
+		var want Time
+		for i := 0; i < int(n)+1; i++ {
+			sz := int64(rng.Intn(1<<16) + 1)
+			want += p.TransferTime(sz)
+			at := Time(rng.Intn(10000))
+			e.At(at, func() { p.Transfer(sz, nil) })
+		}
+		e.Run()
+		return p.BusyTime() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeTransferLimited(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000, 0) // 1 GB/s pipe
+	var ends []Time
+	// A requester limited to 0.5 GB/s occupies the pipe twice as long.
+	p.TransferLimited(1000, 500_000_000, func() { ends = append(ends, e.Now()) })
+	// A faster-than-pipe requester is clamped to the pipe rate.
+	p.TransferLimited(1000, 2_000_000_000, func() { ends = append(ends, e.Now()) })
+	e.Run()
+	if ends[0] != 2000 {
+		t.Fatalf("limited transfer ended at %d, want 2000", ends[0])
+	}
+	if ends[1] != 3000 {
+		t.Fatalf("clamped transfer ended at %d, want 3000", ends[1])
+	}
+}
+
+func TestPipeBacklogAndStats(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000, 0)
+	p.Transfer(5000, nil)
+	if p.Backlog() != 5000 {
+		t.Fatalf("backlog = %d, want 5000", p.Backlog())
+	}
+	e.Run()
+	if p.Backlog() != 0 {
+		t.Fatalf("backlog after drain = %d", p.Backlog())
+	}
+	if p.Bytes() != 5000 || p.Transfers() != 1 {
+		t.Fatalf("bytes=%d transfers=%d", p.Bytes(), p.Transfers())
+	}
+}
+
+func TestServerQueueStats(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	for i := 0; i < 4; i++ {
+		s.Use(10, nil)
+	}
+	if s.MaxQueue() != 3 {
+		t.Fatalf("MaxQueue = %d, want 3", s.MaxQueue())
+	}
+	e.Run()
+	if s.InUse() != 0 || s.Queued() != 0 {
+		t.Fatal("server not drained")
+	}
+}
+
+func TestEnginePendingAndZeroCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d", e.Pending())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 server did not panic")
+		}
+	}()
+	NewServer(e, 0)
+}
+
+func TestPipeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-bandwidth pipe did not panic")
+		}
+	}()
+	NewPipe(NewEngine(), 0, 0)
+}
+
+func TestPipeMinimumOccupancy(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, 1_000_000_000_000, 0) // 1 TB/s: 1 byte would be <1ns
+	if got := p.TransferTime(1); got != 1 {
+		t.Fatalf("TransferTime(1) = %d, want clamped to 1ns", got)
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+// Server is a capacity-limited resource with a FIFO wait queue: at most
+// Capacity holders at a time. It models things like NVMe controller
+// command slots, host fault-handler threads, and DMA engines.
+type Server struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	waiters  []func()
+
+	// Stats.
+	grants  int64
+	maxWait int
+}
+
+// NewServer returns a server granting at most capacity concurrent holds.
+func NewServer(eng *Engine, capacity int) *Server {
+	if capacity < 1 {
+		panic("sim: server capacity must be >= 1")
+	}
+	return &Server{eng: eng, capacity: capacity}
+}
+
+// Acquire requests a hold. fn runs as soon as a slot is available —
+// synchronously if one is free now, otherwise when a holder releases.
+func (s *Server) Acquire(fn func()) {
+	if s.busy < s.capacity {
+		s.busy++
+		s.grants++
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+	if len(s.waiters) > s.maxWait {
+		s.maxWait = len(s.waiters)
+	}
+}
+
+// Release returns a hold. The oldest waiter, if any, is granted
+// immediately (at the current virtual time).
+func (s *Server) Release() {
+	if s.busy <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.grants++
+		next()
+		return
+	}
+	s.busy--
+}
+
+// Use acquires the server, holds it for d, then runs done after releasing.
+func (s *Server) Use(d Time, done func()) {
+	s.Acquire(func() {
+		s.eng.After(d, func() {
+			s.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// InUse reports the number of current holders.
+func (s *Server) InUse() int { return s.busy }
+
+// Queued reports the number of waiters.
+func (s *Server) Queued() int { return len(s.waiters) }
+
+// Grants reports the total number of grants made.
+func (s *Server) Grants() int64 { return s.grants }
+
+// MaxQueue reports the high-water mark of the wait queue.
+func (s *Server) MaxQueue() int { return s.maxWait }
+
+// Pipe is a serialized bandwidth resource: transfers occupy the pipe
+// back-to-back at a fixed byte rate, and each transfer additionally
+// experiences a fixed propagation latency that is pipelined (it delays
+// completion but does not occupy the pipe). It models a PCIe link
+// direction, an SSD's internal media bandwidth, or a DMA engine.
+type Pipe struct {
+	eng       *Engine
+	bytesPerS int64 // bandwidth in bytes per second
+	latency   Time  // pipelined per-transfer latency
+	freeAt    Time  // virtual time the pipe next becomes free
+
+	// Stats.
+	bytes     int64
+	transfers int64
+	busy      Time
+}
+
+// NewPipe returns a pipe with the given bandwidth (bytes/second) and
+// pipelined per-transfer latency.
+func NewPipe(eng *Engine, bytesPerSecond int64, latency Time) *Pipe {
+	if bytesPerSecond <= 0 {
+		panic("sim: pipe bandwidth must be positive")
+	}
+	return &Pipe{eng: eng, bytesPerS: bytesPerSecond, latency: latency}
+}
+
+// TransferTime reports the pipe occupancy for a transfer of n bytes,
+// excluding latency and queueing.
+func (p *Pipe) TransferTime(n int64) Time {
+	if n <= 0 {
+		return 0
+	}
+	t := n * Second / p.bytesPerS
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Transfer queues n bytes through the pipe; done runs when the last byte
+// (plus propagation latency) has arrived.
+func (p *Pipe) Transfer(n int64, done func()) {
+	p.transfer(n, p.TransferTime(n), done)
+}
+
+// TransferLimited is Transfer for a requester that cannot saturate the
+// pipe: the transfer occupies the pipe at the slower of the pipe rate and
+// maxBps. It models, e.g., a zero-copy transfer driven by too few GPU
+// threads to fill the PCIe link (paper Figure 6).
+func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
+	occ := p.TransferTime(n)
+	if maxBps > 0 && maxBps < p.bytesPerS {
+		occ = n * Second / maxBps
+		if occ < 1 {
+			occ = 1
+		}
+	}
+	p.transfer(n, occ, done)
+}
+
+func (p *Pipe) transfer(n int64, occ Time, done func()) {
+	start := p.freeAt
+	if now := p.eng.Now(); start < now {
+		start = now
+	}
+	p.freeAt = start + occ
+	p.bytes += n
+	p.transfers++
+	p.busy += occ
+	end := p.freeAt + p.latency
+	p.eng.At(end, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Backlog reports how far in the future the pipe is already committed.
+func (p *Pipe) Backlog() Time {
+	b := p.freeAt - p.eng.Now()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Bytes reports the total bytes transferred so far.
+func (p *Pipe) Bytes() int64 { return p.bytes }
+
+// Transfers reports the number of transfers so far.
+func (p *Pipe) Transfers() int64 { return p.transfers }
+
+// BusyTime reports the cumulative time the pipe was occupied.
+func (p *Pipe) BusyTime() Time { return p.busy }

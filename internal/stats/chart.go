@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars — the terminal rendition of
+// the paper's bar figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart returns an empty chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit}
+}
+
+// Add appends one bar. Negative values are clamped to zero.
+func (c *BarChart) Add(label string, value float64) {
+	if value < 0 {
+		value = 0
+	}
+	c.rows = append(c.rows, barRow{label: label, value: value})
+}
+
+// Len reports the number of bars.
+func (c *BarChart) Len() int { return len(c.rows) }
+
+// Render draws the chart with bars scaled so the maximum spans width
+// characters.
+func (c *BarChart) Render(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if n := len([]rune(r.label)); n > maxLabel {
+			maxLabel = n
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for _, r := range c.rows {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(r.value / maxVal * float64(width))
+		}
+		if r.value > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.2f%s\n",
+			maxLabel, r.label,
+			strings.Repeat("#", bar), strings.Repeat(" ", width-bar),
+			r.value, c.Unit)
+	}
+	return b.String()
+}

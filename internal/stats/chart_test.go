@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Speedups", "x")
+	c.Add("BaM", 1.0)
+	c.Add("GMT-Reuse", 2.0)
+	out := c.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The 2.0 bar must be twice the 1.0 bar (20 vs 10 hashes).
+	if strings.Count(lines[2], "#") != 2*strings.Count(lines[1], "#") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "2.00x") {
+		t.Fatalf("value missing:\n%s", out)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	c := NewBarChart("", "")
+	c.Add("zero", 0)
+	c.Add("neg", -5)
+	c.Add("tiny", 0.0001)
+	c.Add("big", 100)
+	out := c.Render(10)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "#") != 0 || strings.Count(lines[1], "#") != 0 {
+		t.Fatal("zero/negative values drew bars")
+	}
+	// Non-zero values always draw at least one mark.
+	if strings.Count(lines[2], "#") < 1 {
+		t.Fatal("tiny value invisible")
+	}
+	// Tiny width clamps rather than panicking.
+	if !strings.Contains(c.Render(1), "#") {
+		t.Fatal("clamped width broke rendering")
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats defines the metric records shared by the tiering
+// runtimes and the experiment drivers, plus plain-text table rendering
+// for regenerating the paper's tables and figures on a terminal.
+package stats
+
+import "github.com/gmtsim/gmt/internal/sim"
+
+// Run captures everything a tiering run reports; experiment drivers
+// derive the paper's metrics (speedups, I/O reductions, lookup waste,
+// prediction accuracy) from these counters.
+type Run struct {
+	App    string
+	Policy string
+
+	// Virtual wall time of the kernel.
+	WallTime sim.Time
+
+	// Access breakdown. Accesses = Tier1Hits + InFlightJoins +
+	// Tier2Hits + SSDFills.
+	Accesses      int64
+	Tier1Hits     int64
+	Tier2Hits     int64 // misses served from host memory ("useful lookups")
+	SSDFills      int64 // misses served from the SSD
+	InFlightJoins int64 // misses coalesced onto an outstanding fetch
+
+	// Tier-2 lookup accounting (Figure 10a).
+	Tier2Lookups    int64
+	WastefulLookups int64
+
+	// Eviction placement accounting (Figure 10b).
+	EvictionsToTier2 int64 // Tier-1 victims placed in host memory
+	EvictionsToSSD   int64 // dirty victims written back
+	EvictionsDropped int64 // clean victims discarded
+	Tier2Evictions   int64 // pages pushed out of Tier-2
+	BackfillPlaced   int64 // Long-class victims placed via the 80% heuristic
+
+	// SSD activity.
+	SSDReads, SSDWrites         int64
+	SSDReadBytes, SSDWriteBytes int64
+
+	// GPU<->host PCIe page traffic (Tier-1 <-> Tier-2 movements).
+	PagesToHost int64
+	PagesToGPU  int64
+
+	// GMT-Reuse predictor accounting (Figure 9).
+	Predictions        int64
+	CorrectPredictions int64
+	RegressionBatches  int64
+	SamplePairs        int64
+
+	// Prefetch extension accounting (Config.PrefetchDegree).
+	Prefetches   int64 // pages speculatively fetched from the SSD
+	PrefetchHits int64 // prefetched pages later demanded while resident
+
+	// Warp-time accounting from the GPU model: cumulative busy and
+	// memory-stall time across all warps.
+	WarpComputeNS int64
+	WarpStallNS   int64
+}
+
+// GPUUtilization reports the fraction of warp time spent computing
+// rather than stalled on memory.
+func (r Run) GPUUtilization() float64 {
+	total := r.WarpComputeNS + r.WarpStallNS
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.WarpComputeNS) / float64(total)
+}
+
+// Misses reports demand misses that initiated a fetch.
+func (r Run) Misses() int64 { return r.Tier2Hits + r.SSDFills }
+
+// Tier2HitRate reports the fraction of initiated misses served by host
+// memory.
+func (r Run) Tier2HitRate() float64 {
+	if m := r.Misses(); m > 0 {
+		return float64(r.Tier2Hits) / float64(m)
+	}
+	return 0
+}
+
+// WastefulLookupRate reports wasteful Tier-2 lookups as a fraction of
+// Tier-1 misses (Figure 10a's metric).
+func (r Run) WastefulLookupRate() float64 {
+	if m := r.Misses(); m > 0 {
+		return float64(r.WastefulLookups) / float64(m)
+	}
+	return 0
+}
+
+// PredictionAccuracy reports the GMT-Reuse predictor accuracy (Figure 9).
+func (r Run) PredictionAccuracy() float64 {
+	if r.Predictions > 0 {
+		return float64(r.CorrectPredictions) / float64(r.Predictions)
+	}
+	return 0
+}
+
+// SpeedupOver reports base.WallTime / r.WallTime.
+func (r Run) SpeedupOver(base Run) float64 {
+	if r.WallTime == 0 {
+		return 0
+	}
+	return float64(base.WallTime) / float64(r.WallTime)
+}
+
+// IORelativeTo reports this run's SSD I/O operations as a fraction of a
+// baseline's (Figure 8b's metric).
+func (r Run) IORelativeTo(base Run) float64 {
+	b := base.SSDReads + base.SSDWrites
+	if b == 0 {
+		return 0
+	}
+	return float64(r.SSDReads+r.SSDWrites) / float64(b)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := Run{
+		Accesses:           100,
+		Tier1Hits:          50,
+		Tier2Hits:          30,
+		SSDFills:           20,
+		Tier2Lookups:       50,
+		WastefulLookups:    20,
+		Predictions:        10,
+		CorrectPredictions: 7,
+		WallTime:           200,
+	}
+	if got := r.Misses(); got != 50 {
+		t.Fatalf("Misses = %d, want 50", got)
+	}
+	if got := r.Tier2HitRate(); got != 0.6 {
+		t.Fatalf("Tier2HitRate = %g, want 0.6", got)
+	}
+	if got := r.WastefulLookupRate(); got != 0.4 {
+		t.Fatalf("WastefulLookupRate = %g, want 0.4", got)
+	}
+	if got := r.PredictionAccuracy(); got != 0.7 {
+		t.Fatalf("PredictionAccuracy = %g, want 0.7", got)
+	}
+	base := Run{WallTime: 400, SSDReads: 100, SSDWrites: 0}
+	if got := r.SpeedupOver(base); got != 2 {
+		t.Fatalf("SpeedupOver = %g, want 2", got)
+	}
+	r.SSDReads, r.SSDWrites = 40, 10
+	if got := r.IORelativeTo(base); got != 0.5 {
+		t.Fatalf("IORelativeTo = %g, want 0.5", got)
+	}
+}
+
+func TestRunZeroDivisionSafety(t *testing.T) {
+	var r Run
+	if r.Tier2HitRate() != 0 || r.WastefulLookupRate() != 0 ||
+		r.PredictionAccuracy() != 0 || r.SpeedupOver(Run{}) != 0 ||
+		r.IORelativeTo(Run{}) != 0 {
+		t.Fatal("zero-value run produced non-zero derived metrics")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "App", "Speedup")
+	tb.AddRow("Srad", "1.75x")
+	tb.AddRow("a-much-longer-name", "1.00x")
+	out := tb.Render()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "Speedup" values start at the same offset.
+	h := strings.Index(lines[1], "Speedup")
+	if !strings.HasPrefix(lines[3][h:], "1.75x") || !strings.HasPrefix(lines[4][h:], "1.00x") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only-one-cell")
+	tb.AddRow("x", "y", "extra-dropped")
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	out := tb.Render()
+	if strings.Contains(out, "extra-dropped") {
+		t.Fatal("over-long row not truncated")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRowf("name", 1.23456, 42)
+	out := tb.Render()
+	if !strings.Contains(out, "1.23") {
+		t.Fatalf("float not formatted to 2 places:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int not rendered:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Fatalf("Pct = %q", Pct(0.125))
+	}
+	if X(1.5) != "1.50x" {
+		t.Fatalf("X = %q", X(1.5))
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tb := NewTable("", "colµ", "b")
+	tb.AddRow("x", "y")
+	out := tb.Render()
+	lines := strings.Split(out, "\n")
+	// The rule length is computed in runes; it must not be longer than
+	// the header line's rune count plus padding.
+	if len([]rune(lines[1])) < len([]rune("colµ")) {
+		t.Fatalf("unicode width handling broken:\n%s", out)
+	}
+}

@@ -1,0 +1,252 @@
+// Package tier provides the page-residency structures used by the GMT
+// runtime: a clock (second-chance) replacement set for Tier-1 (and for
+// Tier-2 under GMT-TierOrder), and a FIFO set for Tier-2 under the other
+// policies (paper §2.2).
+//
+// These structures track membership and choose victims; page metadata
+// (dirty bits, timestamps, predictor state) lives with the runtime.
+package tier
+
+import "fmt"
+
+// PageID identifies a 64 KiB page by its index in the application's
+// backing dataset (its "home" location on the SSD).
+type PageID int64
+
+// NoPage is returned by Victim on structures that allow emptiness checks.
+const NoPage PageID = -1
+
+// Store is a fixed-capacity set of resident pages with a replacement
+// policy. Implementations: *Clock, *FIFO.
+type Store interface {
+	// Insert adds p. It panics if the store is full or p is present:
+	// callers must evict first, which keeps accounting explicit.
+	Insert(p PageID)
+	// Remove deletes p, reporting whether it was present.
+	Remove(p PageID) bool
+	// Victim selects the replacement victim without removing it.
+	// It panics if the store is empty.
+	Victim() PageID
+	// Contains reports whether p is resident.
+	Contains(p PageID) bool
+	// Each calls fn for every resident page (iteration order
+	// unspecified; callers needing determinism must impose their own
+	// total order).
+	Each(fn func(PageID))
+	// Len and Capacity report occupancy; Full is Len() == Capacity().
+	Len() int
+	Capacity() int
+	Full() bool
+}
+
+// Clock is a second-chance (clock) replacement set, the Tier-1
+// replacement algorithm in both BaM and GMT (§2, "What to evict").
+type Clock struct {
+	slots []PageID
+	ref   []bool
+	hand  int
+	index map[PageID]int
+	free  []int
+}
+
+var _ Store = (*Clock)(nil)
+
+// NewClock returns an empty clock with the given capacity.
+func NewClock(capacity int) *Clock {
+	if capacity < 1 {
+		panic("tier: clock capacity must be >= 1")
+	}
+	c := &Clock{
+		slots: make([]PageID, capacity),
+		ref:   make([]bool, capacity),
+		index: make(map[PageID]int, capacity),
+		free:  make([]int, 0, capacity),
+	}
+	for i := range c.slots {
+		c.slots[i] = NoPage
+		c.free = append(c.free, capacity-1-i) // pop order 0,1,2,...
+	}
+	return c
+}
+
+// Insert adds p with its reference bit set.
+func (c *Clock) Insert(p PageID) {
+	if _, ok := c.index[p]; ok {
+		panic(fmt.Sprintf("tier: page %d already in clock", p))
+	}
+	if len(c.free) == 0 {
+		panic("tier: clock full")
+	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.slots[i] = p
+	c.ref[i] = true
+	c.index[p] = i
+}
+
+// Touch sets p's reference bit; it is a no-op if p is absent.
+func (c *Clock) Touch(p PageID) {
+	if i, ok := c.index[p]; ok {
+		c.ref[i] = true
+	}
+}
+
+// Remove deletes p.
+func (c *Clock) Remove(p PageID) bool {
+	i, ok := c.index[p]
+	if !ok {
+		return false
+	}
+	delete(c.index, p)
+	c.slots[i] = NoPage
+	c.ref[i] = false
+	c.free = append(c.free, i)
+	return true
+}
+
+// Victim runs the clock hand: occupied slots with the reference bit set
+// get a second chance (bit cleared, hand advances); the first unreferenced
+// occupied slot is the victim. The hand is left pointing at the victim, so
+// a caller that rejects the choice can call Reject and then Victim again.
+func (c *Clock) Victim() PageID {
+	if len(c.index) == 0 {
+		panic("tier: victim from empty clock")
+	}
+	for {
+		i := c.hand
+		if c.slots[i] != NoPage {
+			if c.ref[i] {
+				c.ref[i] = false
+			} else {
+				return c.slots[i]
+			}
+		}
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
+}
+
+// Reject gives p another chance after a Victim call chose it: its
+// reference bit is set again and the hand moves past it. GMT-Reuse uses
+// this when a candidate's predicted reuse is "short" (§2.1.3: retain in
+// GPU memory and run another round of clock).
+func (c *Clock) Reject(p PageID) {
+	i, ok := c.index[p]
+	if !ok {
+		panic(fmt.Sprintf("tier: rejecting absent page %d", p))
+	}
+	c.ref[i] = true
+	if c.hand == i {
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
+}
+
+// Contains reports residency.
+func (c *Clock) Contains(p PageID) bool { _, ok := c.index[p]; return ok }
+
+// Each calls fn for every resident page (iteration order unspecified).
+func (c *Clock) Each(fn func(PageID)) {
+	for p := range c.index {
+		fn(p)
+	}
+}
+
+// Len reports the number of resident pages.
+func (c *Clock) Len() int { return len(c.index) }
+
+// Capacity reports the slot count.
+func (c *Clock) Capacity() int { return len(c.slots) }
+
+// Full reports whether every slot is occupied.
+func (c *Clock) Full() bool { return len(c.index) == len(c.slots) }
+
+// FIFO is a first-in-first-out replacement set, GMT's Tier-2 eviction
+// mechanism (§2.2). Removal of arbitrary members (promotion to Tier-1)
+// is O(1) amortized via tombstones.
+type FIFO struct {
+	capacity int
+	queue    []PageID
+	index    map[PageID]struct{}
+}
+
+var _ Store = (*FIFO)(nil)
+
+// NewFIFO returns an empty FIFO with the given capacity.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		panic("tier: fifo capacity must be >= 1")
+	}
+	return &FIFO{capacity: capacity, index: make(map[PageID]struct{}, capacity)}
+}
+
+// Insert adds p at the tail.
+func (f *FIFO) Insert(p PageID) {
+	if _, ok := f.index[p]; ok {
+		panic(fmt.Sprintf("tier: page %d already in fifo", p))
+	}
+	if len(f.index) >= f.capacity {
+		panic("tier: fifo full")
+	}
+	f.index[p] = struct{}{}
+	f.queue = append(f.queue, p)
+	f.compact()
+}
+
+// Remove deletes p (leaving a tombstone in the queue).
+func (f *FIFO) Remove(p PageID) bool {
+	if _, ok := f.index[p]; !ok {
+		return false
+	}
+	delete(f.index, p)
+	return true
+}
+
+// Victim reports the oldest resident page.
+func (f *FIFO) Victim() PageID {
+	f.skipDead()
+	if len(f.queue) == 0 {
+		panic("tier: victim from empty fifo")
+	}
+	return f.queue[0]
+}
+
+func (f *FIFO) skipDead() {
+	for len(f.queue) > 0 {
+		if _, ok := f.index[f.queue[0]]; ok {
+			return
+		}
+		f.queue = f.queue[1:]
+	}
+}
+
+// compact reclaims queue storage when tombstones dominate.
+func (f *FIFO) compact() {
+	if len(f.queue) < 2*f.capacity || len(f.queue) < 64 {
+		return
+	}
+	live := f.queue[:0]
+	for _, p := range f.queue {
+		if _, ok := f.index[p]; ok {
+			live = append(live, p)
+		}
+	}
+	f.queue = live
+}
+
+// Contains reports residency.
+func (f *FIFO) Contains(p PageID) bool { _, ok := f.index[p]; return ok }
+
+// Each calls fn for every resident page (iteration order unspecified).
+func (f *FIFO) Each(fn func(PageID)) {
+	for p := range f.index {
+		fn(p)
+	}
+}
+
+// Len reports the number of resident pages.
+func (f *FIFO) Len() int { return len(f.index) }
+
+// Capacity reports the maximum residency.
+func (f *FIFO) Capacity() int { return f.capacity }
+
+// Full reports whether the FIFO is at capacity.
+func (f *FIFO) Full() bool { return len(f.index) >= f.capacity }

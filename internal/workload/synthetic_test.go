@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+func TestStridedCoversAllPages(t *testing.T) {
+	// Stride 7 is coprime with 100: one round touches every page once.
+	w := NewStrided(100, 7, 1)
+	seen := map[tier.PageID]int{}
+	for _, a := range w.Trace() {
+		seen[a.Page]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("covered %d pages, want 100", len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("page %d touched %d times", p, n)
+		}
+	}
+}
+
+func TestStridedRoundsRepeat(t *testing.T) {
+	w := NewStrided(50, 1, 3)
+	tr := w.Trace()
+	if len(tr) != 150 {
+		t.Fatalf("trace len = %d", len(tr))
+	}
+	for i := 0; i < 50; i++ {
+		if tr[i] != tr[i+50] || tr[i] != tr[i+100] {
+			t.Fatal("rounds differ")
+		}
+	}
+}
+
+func TestUniformRandomProperties(t *testing.T) {
+	w := NewUniformRandom(64, 10_000, 0.25, 9)
+	tr := w.Trace()
+	writes := 0
+	for _, a := range tr {
+		if int64(a.Page) < 0 || int64(a.Page) >= 64 {
+			t.Fatalf("page %d out of range", a.Page)
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(tr))
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("write fraction = %.2f, want ≈0.25", frac)
+	}
+	// Deterministic for a seed; different for another.
+	same := NewUniformRandom(64, 10_000, 0.25, 9).Trace()
+	for i := range tr {
+		if tr[i] != same[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPointerChaseSingleCycle(t *testing.T) {
+	w := NewPointerChase(128, 1, 5)
+	tr := w.Trace()
+	if len(tr) != 128 {
+		t.Fatalf("trace len = %d", len(tr))
+	}
+	seen := map[tier.PageID]bool{}
+	for _, a := range tr {
+		if seen[a.Page] {
+			t.Fatalf("page %d revisited within one round: not a single cycle", a.Page)
+		}
+		seen[a.Page] = true
+	}
+	if len(seen) != 128 {
+		t.Fatalf("cycle covered %d pages", len(seen))
+	}
+}
+
+func TestPointerChasePeriodicReuse(t *testing.T) {
+	// Two rounds: every page's reuse distance is exactly the cycle
+	// length minus one (all other pages in between).
+	s := Scale{Tier1Pages: 32, Tier2Pages: 128, Oversubscription: 2}
+	w := NewPointerChase(200, 3, 7)
+	a := Analyze(w.Name(), w.Trace(), s, 64*1024, 100)
+	_, medium, long := a.PairFractions()
+	// Cycle length 200 > T1+T2 (160): all reuse is Long.
+	if long < 0.99 {
+		t.Fatalf("pointer-chase reuse not Long-classified: med=%.2f long=%.2f", medium, long)
+	}
+	if a.ReusePct() < 0.99 {
+		t.Fatalf("reuse%% = %.2f, want ≈1.0", a.ReusePct())
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"strided": func() { NewStrided(0, 1, 1) },
+		"random":  func() { NewUniformRandom(1, 0, 0, 1) },
+		"chase":   func() { NewPointerChase(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad params did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// Trace files are a line-oriented text format, one access per line:
+//
+//	# gmt-trace v1
+//	R 123
+//	W 456
+//
+// Lines starting with '#' are comments. The format trades compactness
+// for being diffable and tool-friendly.
+
+const traceHeader = "# gmt-trace v1"
+
+// WriteTrace serializes a trace.
+func WriteTrace(w io.Writer, trace []gpu.Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for _, a := range trace {
+		op := byte('R')
+		if a.Write {
+			op = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%c %d\n", op, a.Page); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]gpu.Access, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var trace []gpu.Access
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if text == traceHeader {
+				sawHeader = true
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("workload: line %d: missing %q header", line, traceHeader)
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want 'R|W <page>', got %q", line, text)
+		}
+		var write bool
+		switch fields[0] {
+		case "R", "r":
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown op %q", line, fields[0])
+		}
+		page, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || page < 0 {
+			return nil, fmt.Errorf("workload: line %d: bad page %q", line, fields[1])
+		}
+		trace = append(trace, gpu.Access{Page: tier.PageID(page), Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("workload: missing %q header", traceHeader)
+	}
+	return trace, nil
+}
+
+// FileWorkload adapts a loaded trace to the Workload interface.
+type FileWorkload struct {
+	TraceName string
+	Accesses  []gpu.Access
+}
+
+// Name implements Workload.
+func (f *FileWorkload) Name() string { return f.TraceName }
+
+// Pages implements Workload (1 + the highest page referenced).
+func (f *FileWorkload) Pages() int64 {
+	var max tier.PageID = -1
+	for _, a := range f.Accesses {
+		if a.Page > max {
+			max = a.Page
+		}
+	}
+	return int64(max) + 1
+}
+
+// Trace implements Workload.
+func (f *FileWorkload) Trace() []gpu.Access {
+	out := make([]gpu.Access, len(f.Accesses))
+	copy(out, f.Accesses)
+	return out
+}

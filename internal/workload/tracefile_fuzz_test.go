@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace drives the trace parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# gmt-trace v1\nR 1\nW 2\n")
+	f.Add("# gmt-trace v1\n\n# c\n r 7 \n")
+	f.Add("R 1\n")
+	f.Add("# gmt-trace v1\nX yz\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		trace, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, trace); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d -> %d", len(trace), len(again))
+		}
+		for i := range trace {
+			if trace[i] != again[i] {
+				t.Fatalf("round trip changed access %d", i)
+			}
+		}
+	})
+}

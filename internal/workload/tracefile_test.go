@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := []gpu.Access{
+		{Page: 0}, {Page: 5, Write: true}, {Page: 1 << 40}, {Page: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceRoundTripWorkload(t *testing.T) {
+	w := NewPathfinder(Scale{Tier1Pages: 64, Tier2Pages: 256, Oversubscription: 2})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, w.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Trace()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":    "R 1\n",
+		"bad op":       "# gmt-trace v1\nX 1\n",
+		"bad page":     "# gmt-trace v1\nR abc\n",
+		"neg page":     "# gmt-trace v1\nR -4\n",
+		"wrong fields": "# gmt-trace v1\nR 1 2\n",
+		"empty":        "",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadTraceTolerance(t *testing.T) {
+	in := "# gmt-trace v1\n\n# comment\n  r 7  \nw 9\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (gpu.Access{Page: 7}) || got[1] != (gpu.Access{Page: 9, Write: true}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFileWorkload(t *testing.T) {
+	fw := &FileWorkload{
+		TraceName: "custom",
+		Accesses:  []gpu.Access{{Page: 2}, {Page: 9, Write: true}},
+	}
+	if fw.Name() != "custom" || fw.Pages() != 10 {
+		t.Fatalf("name=%q pages=%d", fw.Name(), fw.Pages())
+	}
+	tr := fw.Trace()
+	tr[0].Page = 99 // callers may mutate their copy
+	if fw.Accesses[0].Page != 2 {
+		t.Fatal("Trace did not copy")
+	}
+}

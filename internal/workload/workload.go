@@ -1,0 +1,108 @@
+// Package workload generates the coalesced page-access traces of the
+// nine applications the paper evaluates (Table 2): six regular Rodinia /
+// BaM kernels and three data-dependent graph workloads over a GAP-Kron
+// style Kronecker graph.
+//
+// Traces are algorithm-driven: each generator walks the actual loop nest
+// of its application over a dataset sized relative to the memory tiers,
+// so reuse percentages and Remaining-Reuse-Distance distributions are
+// emergent rather than hard-coded. The paper's absolute capacities
+// (Tier-1 16 GB, Tier-2 64 GB, datasets up to terabytes) are scaled down
+// uniformly; every placement decision GMT makes depends only on the
+// ratios (oversubscription factor, Tier-2:Tier-1), which scaling
+// preserves.
+package workload
+
+import (
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// Scale ties workload sizes to the memory hierarchy under test.
+type Scale struct {
+	// Tier1Pages and Tier2Pages are the capacities of GPU and host
+	// memory in 64 KiB pages.
+	Tier1Pages int
+	Tier2Pages int
+	// Oversubscription is the working set size as a multiple of
+	// Tier1Pages+Tier2Pages (the paper's footnote 2; default 2).
+	Oversubscription float64
+}
+
+// DefaultScale is the paper's default configuration (Tier-2 = 4x Tier-1,
+// oversubscription 2) at 1/256 of the paper's capacities: Tier-1 16 GB ->
+// 1024 pages.
+func DefaultScale() Scale {
+	return Scale{Tier1Pages: 1024, Tier2Pages: 4096, Oversubscription: 2}
+}
+
+// CombinedPages reports Tier1+Tier2 capacity.
+func (s Scale) CombinedPages() int { return s.Tier1Pages + s.Tier2Pages }
+
+// WorkingSetPages reports the target dataset footprint.
+func (s Scale) WorkingSetPages() int {
+	return int(s.Oversubscription * float64(s.CombinedPages()))
+}
+
+// Workload produces a deterministic access trace over its dataset's
+// pages (page IDs in [0, Pages())).
+type Workload interface {
+	Name() string
+	// Pages reports the dataset footprint in 64 KiB pages.
+	Pages() int64
+	// Trace generates the full coalesced access trace. Generators are
+	// deterministic: repeated calls return equal traces.
+	Trace() []gpu.Access
+}
+
+// Stream wraps a workload trace as a gpu.Stream.
+func Stream(w Workload) gpu.Stream {
+	return &gpu.SliceStream{Trace: w.Trace()}
+}
+
+// Names of the nine applications, in the paper's Table 2 order.
+var Names = []string{
+	"LavaMD", "Pathfinder", "BFS", "MultiVectorAdd", "Srad",
+	"Backprop", "PageRank", "SSSP", "Hotspot",
+}
+
+// All builds the full nine-application suite at the given scale. The
+// graph applications share one generated Kronecker graph.
+func All(s Scale) []Workload {
+	gs := NewGraphSet(s, 42)
+	return []Workload{
+		NewLavaMD(s),
+		NewPathfinder(s),
+		NewBFS(gs),
+		NewMultiVectorAdd(s),
+		NewSrad(s),
+		NewBackprop(s),
+		NewPageRank(gs),
+		NewSSSP(gs),
+		NewHotspot(s),
+	}
+}
+
+// Regular builds only the six non-graph applications (used by the paper's
+// Figure 13 experiment).
+func Regular(s Scale) []Workload {
+	return []Workload{
+		NewLavaMD(s),
+		NewPathfinder(s),
+		NewMultiVectorAdd(s),
+		NewSrad(s),
+		NewBackprop(s),
+		NewHotspot(s),
+	}
+}
+
+// trace builder shared by the generators.
+type traceBuilder struct {
+	out []gpu.Access
+}
+
+func (b *traceBuilder) read(p int64) { b.out = append(b.out, gpu.Access{Page: tier.PageID(p)}) }
+func (b *traceBuilder) write(p int64) {
+	b.out = append(b.out, gpu.Access{Page: tier.PageID(p), Write: true})
+}
+func (b *traceBuilder) barrier() { b.out = append(b.out, gpu.Barrier) }

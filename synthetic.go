@@ -1,0 +1,24 @@
+package gmt
+
+import "github.com/gmtsim/gmt/internal/workload"
+
+// Synthetic workload constructors for library users: parameterized
+// directly rather than sized against a Scale.
+
+// NewStrided returns a workload sweeping pages at a fixed stride for
+// the given number of rounds.
+func NewStrided(pages, stride int64, rounds int) Workload {
+	return wrapped{inner: workload.NewStrided(pages, stride, rounds)}
+}
+
+// NewUniformRandom returns a uniformly random workload; writeFrac of
+// the accesses are writes.
+func NewUniformRandom(pages, accesses int64, writeFrac float64, seed int64) Workload {
+	return wrapped{inner: workload.NewUniformRandom(pages, accesses, writeFrac, seed)}
+}
+
+// NewPointerChase returns a workload chasing a random single-cycle
+// permutation over its pages.
+func NewPointerChase(pages int64, rounds int, seed int64) Workload {
+	return wrapped{inner: workload.NewPointerChase(pages, rounds, seed)}
+}
