@@ -1,0 +1,140 @@
+// Command gmtlint is the determinism & invariant lint suite for the GMT
+// simulator: a multichecker enforcing the contract that makes seeded
+// runs bit-identical (see HACKING.md, "Determinism rules").
+//
+// Usage:
+//
+//	gmtlint [package pattern ...]
+//
+// Patterns are ./...-style module-relative patterns (default ./...).
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+//
+// Analyzers and their scopes:
+//
+//	norealtime    everything except cmd/ (CLIs may report wall time)
+//	noglobalrand  every package
+//	maporder      every package
+//	nogoroutine   the single-goroutine simulator packages
+//
+// Suppress an individual false positive with a trailing or
+// preceding-line comment carrying a mandatory reason:
+//
+//	//lint:ignore maporder counters are order-independent
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gmtsim/gmt/internal/lint"
+)
+
+// simPackages are the single-goroutine packages where nogoroutine
+// applies: every component in them runs inside engine callbacks.
+var simPackages = map[string]bool{
+	"internal/sim":  true,
+	"internal/core": true,
+	"internal/tier": true,
+	"internal/nvme": true,
+	"internal/pcie": true,
+	"internal/gpu":  true,
+	"internal/xfer": true,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fail(err)
+	}
+	var selected []*lint.Package
+	loadErrors := false
+	for _, p := range pkgs {
+		if !matchesAny(patterns, loader.Module, p.Path) {
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "gmtlint: %s: type error: %v\n", p.Path, terr)
+			loadErrors = true
+		}
+		selected = append(selected, p)
+	}
+	if loadErrors {
+		os.Exit(2)
+	}
+	scope := func(a *lint.Analyzer, pkgPath string) bool {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, loader.Module), "/")
+		switch a.Name {
+		case "nogoroutine":
+			return simPackages[rel]
+		case "norealtime":
+			return !strings.HasPrefix(rel, "cmd/")
+		default:
+			return true
+		}
+	}
+	findings, err := lint.Run(loader.Fset(), selected, lint.All(), scope)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gmtlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// matchesAny reports whether the import path matches one of the
+// ./...-style module-relative patterns.
+func matchesAny(patterns []string, module, pkgPath string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, module), "/")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == rel {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gmtlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/invariant"
 	"github.com/gmtsim/gmt/internal/nvme"
 	"github.com/gmtsim/gmt/internal/pcie"
 	"github.com/gmtsim/gmt/internal/reuse"
@@ -107,6 +108,14 @@ type Config struct {
 	// Seed drives all randomized decisions (PolicyRandom's coin, the
 	// Reuse policy's no-history fallback).
 	Seed int64
+
+	// RNG, when non-nil, supplies the runtime's random stream instead of
+	// one derived from Seed. The runtime must own the stream exclusively:
+	// the determinism contract (same seed => bit-identical runs) only
+	// holds when no other component draws from it. Never pass a stream
+	// backed by math/rand's global source — cmd/gmtlint's noglobalrand
+	// analyzer rejects such code.
+	RNG *rand.Rand
 
 	// Tier2Lookup is the critical-path cost of probing the Tier-2
 	// directory on a Tier-1 miss (§3.4: ≈50 ns).
@@ -321,6 +330,10 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 	} else {
 		storage = nvme.New(eng, cfg.SSD)
 	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	rt := &Runtime{
 		eng:      eng,
 		cfg:      cfg,
@@ -328,7 +341,7 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		hostLink: pcie.NewLink(eng, cfg.HostLanes),
 		t1:       tier.NewClock(cfg.Tier1Pages),
 		pages:    make(map[tier.PageID]*pageState),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rng,
 		classifier: reuse.Classifier{
 			Tier1Pages: int64(cfg.Tier1Pages),
 			Tier2Pages: int64(cfg.Tier2Pages),
@@ -402,6 +415,12 @@ func (rt *Runtime) page(p tier.PageID) *pageState {
 
 // Access implements gpu.MemoryManager: one coalesced page reference.
 func (rt *Runtime) Access(a gpu.Access, done func()) {
+	if invariant.Enabled {
+		invariant.Assert(rt.t1.Len()+rt.reserved <= rt.t1.Capacity(),
+			"core: tier-1 oversubscribed: %d resident + %d reserved > %d slots",
+			rt.t1.Len(), rt.reserved, rt.t1.Capacity())
+		rt.hostLink.CheckInvariants()
+	}
 	idx := rt.vtd
 	rt.vtd++
 	rt.m.Accesses++

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// TestFigure8ByteIdentical is the determinism regression gate: the
+// quarter-scale Figure 8 experiment — nine applications under BaM and
+// the three GMT policies, end to end through the GPU model, tiers, PCIe,
+// and NVMe — is run twice from scratch, and the full rendered stats
+// output must be byte-identical. CI also runs this under
+// -tags gmtinvariants so the conservation checks ride along.
+func TestFigure8ByteIdentical(t *testing.T) {
+	render := func() string {
+		s := NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
+		rows, tbl := Figure8(s)
+		// Render both the human-facing table and the raw rows: fmt's %#v
+		// prints map keys in sorted order, so any divergence — down to a
+		// single counter — shows up as a byte difference.
+		return tbl.Render() + fmt.Sprintf("%#v", rows)
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("two identically-seeded Figure 8 runs diverged:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+}

@@ -1,0 +1,19 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// simulator's conservation invariants: tier slot accounting, NVMe queue
+// depth bounds, PCIe bandwidth grants, and engine clock monotonicity.
+//
+// The checks compile to no-ops by default. Build with
+//
+//	go test -tags gmtinvariants ./...
+//
+// to enable them; a violated invariant panics with a descriptive message.
+// Call sites that must compute non-trivial arguments should guard on the
+// Enabled constant so the disabled build pays nothing:
+//
+//	if invariant.Enabled {
+//		invariant.Assert(expensive() == 0, "leaked %d", expensive())
+//	}
+//
+// The static half of the determinism contract is enforced by
+// cmd/gmtlint; see HACKING.md ("Determinism rules").
+package invariant

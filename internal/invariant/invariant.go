@@ -1,0 +1,15 @@
+//go:build gmtinvariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assert panics with the formatted message when cond is false.
+func Assert(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}

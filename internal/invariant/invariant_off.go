@@ -1,0 +1,9 @@
+//go:build !gmtinvariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assert is a no-op in the default build.
+func Assert(cond bool, format string, args ...interface{}) {}

@@ -1,0 +1,18 @@
+package invariant
+
+import "testing"
+
+func TestAssert(t *testing.T) {
+	Assert(true, "a true condition never fires")
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("gmtinvariants build: Assert(false) must panic")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("default build: Assert(false) must be a no-op, panicked with %v", r)
+		}
+	}()
+	Assert(false, "queue depth %d above %d", 9, 8)
+}

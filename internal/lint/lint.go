@@ -1,0 +1,77 @@
+// Package lint is a dependency-free static-analysis framework enforcing
+// the simulator's determinism contract (see HACKING.md, "Determinism
+// rules"). It mirrors the golang.org/x/tools/go/analysis API surface —
+// Analyzer, Pass, Diagnostic — but is built entirely on the standard
+// library's go/ast and go/types so the repo stays module-dependency-free.
+//
+// Four analyzers ship with the package:
+//
+//   - norealtime:   no wall-clock time in simulation code
+//   - noglobalrand: no math/rand global-stream functions outside tests
+//   - maporder:     no order-sensitive work inside map iteration
+//   - nogoroutine:  no goroutines or channels in simulator packages
+//
+// The driver (cmd/gmtlint) loads packages with Loader, runs analyzers
+// through Run, and honors //lint:ignore suppression comments.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. The shape deliberately matches
+// x/tools/go/analysis.Analyzer so analyzers could migrate to the real
+// multichecker if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run reports diagnostics for one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// All returns every analyzer the suite ships, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoRealTime, NoGlobalRand, MapOrder, NoGoroutine}
+}
+
+// pkgFunc resolves a selector like time.Now to the package-level function
+// it names, or nil when the selector is something else (method call,
+// field, non-function object).
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

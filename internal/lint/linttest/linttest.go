@@ -1,0 +1,124 @@
+// Package linttest runs lint analyzers against fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixtures live
+// under testdata/src/<pkg>/ and annotate the lines where diagnostics are
+// expected with
+//
+//	// want `regexp`
+//
+// comments. Run fails the test when an expected diagnostic is missing,
+// an unexpected one fires, or a message does not match its pattern.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Load parses and type-checks the fixture package at
+// <testdata>/src/<pkg>, failing the test on any error: fixtures must
+// compile.
+func Load(t *testing.T, testdata string, pkg string) (*token.FileSet, *lint.Package) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+	return fset, &lint.Package{Path: pkg, Dir: dir, Files: files, Types: tpkg, Info: info}
+}
+
+// Run loads the fixture package and checks the analyzer's diagnostics
+// against its // want annotations.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	fset, lpkg := Load(t, testdata, pkg)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range lpkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+
+	findings, err := lint.Run(fset, []*lint.Package{lpkg}, []*lint.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s: expected message matching %q", key, w.re)
+			}
+		}
+	}
+}

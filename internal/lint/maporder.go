@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags order-sensitive work performed while iterating a map.
+// Go randomizes map iteration order, so a body that appends to a slice,
+// schedules a simulation event, or accumulates floating-point state
+// (whose addition is not associative) produces run-to-run differences —
+// the exact class of bug that silently breaks seed-reproducible replay.
+//
+// The canonical safe pattern — collecting the keys and sorting them
+// before use — is recognized: an append whose target is later passed to
+// a sort call in the same function is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag appends, event scheduling, and floating-point accumulation inside " +
+		"map iteration without a subsequent sort; map order is nondeterministic",
+	Run: runMapOrder,
+}
+
+// scheduleNames are method names treated as event scheduling. They match
+// sim.Engine's API; any same-named method is close enough to deserve a
+// look (suppress with //lint:ignore when a false positive).
+var scheduleNames = map[string]bool{"After": true, "At": true, "Schedule": true}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			reported := make(map[token.Pos]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.Info.TypeOf(rng.X)) {
+					return true
+				}
+				checkMapRangeBody(pass, fn.Body, rng, reported)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody walks one map-range body reporting the three
+// order-sensitive operation kinds.
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, msg string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, msg)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if isBuiltinAppend(pass.Info, fun) && len(n.Args) > 0 {
+					target := rootIdent(n.Args[0])
+					if target != nil && sortedAfter(fnBody, rng.End(), target.Name) {
+						return true
+					}
+					name := "slice"
+					if target != nil {
+						name = target.Name
+					}
+					report(n.Pos(), fmt.Sprintf(
+						"append to %s inside map iteration: element order follows the map's "+
+							"randomized order; sort the keys first or sort the result", name))
+				}
+			case *ast.SelectorExpr:
+				if scheduleNames[fun.Sel.Name] {
+					report(n.Pos(), fmt.Sprintf(
+						"%s call inside map iteration schedules events in the map's randomized "+
+							"order; iterate a sorted key slice instead", fun.Sel.Name))
+				}
+			}
+		case *ast.AssignStmt:
+			checkFloatAccumulation(pass, n, report)
+		}
+		return true
+	})
+}
+
+// checkFloatAccumulation flags x += f and x = x + f forms where x is a
+// float: float addition is not associative, so the sum depends on map
+// order.
+func checkFloatAccumulation(pass *Pass, n *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	if !isFloat(pass.Info.TypeOf(n.Lhs[0])) {
+		return
+	}
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		report(n.Pos(), "floating-point accumulation inside map iteration: float arithmetic is "+
+			"not associative, so the result depends on map order; iterate a sorted key slice")
+	case token.ASSIGN:
+		lhs, ok := n.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		bin, ok := n.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		if identNamed(bin.X, lhs.Name) || identNamed(bin.Y, lhs.Name) {
+			report(n.Pos(), "floating-point accumulation inside map iteration: float arithmetic is "+
+				"not associative, so the result depends on map order; iterate a sorted key slice")
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func identNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdent unwraps selectors, indexes, stars, and parens down to the
+// leftmost identifier of an lvalue expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether, somewhere after pos in the enclosing
+// function body, target is passed to (or receives) a sort call — the
+// collect-then-sort idiom that makes an in-range append deterministic.
+func sortedAfter(fnBody *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if isSortCall(call, target) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var sortFuncNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true, "Ints": true, "Strings": true, "Float64s": true,
+}
+
+func isSortCall(call *ast.CallExpr, target string) bool {
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		// target.Sort() style.
+		if identNamed(fun.X, target) && strings.Contains(name, "Sort") {
+			return true
+		}
+	case *ast.Ident:
+		name = fun.Name
+	}
+	if !sortFuncNames[name] && !strings.Contains(name, "Sort") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if mentionsIdent(arg, target) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandExempt lists the math/rand package-level functions that do
+// NOT draw from the shared global source: constructors for injectable,
+// seeded streams.
+var globalRandExempt = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NoGlobalRand forbids math/rand's top-level convenience functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...). They all draw from one
+// process-global stream, so any consumer anywhere perturbs every other
+// consumer's sequence and seed-reproducibility is lost. Components must
+// carry an injected *rand.Rand seeded from their config instead.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid math/rand global-stream functions; inject a seeded *rand.Rand " +
+		"(rand.New(rand.NewSource(seed))) instead",
+	Run: runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.Info, sel)
+			if fn == nil || !globalRandPkg(fn.Pkg().Path()) || globalRandExempt[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), fmt.Sprintf(
+				"rand.%s draws from the process-global stream and breaks seed-reproducibility; "+
+					"inject a seeded *rand.Rand", fn.Name()))
+			return true
+		})
+	}
+	return nil
+}
+
+func globalRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoGoroutine forbids concurrency primitives inside the simulator's
+// single-goroutine packages. The engine's contract is that every
+// component runs inside event callbacks on one goroutine; a go statement
+// or channel operation reintroduces scheduler nondeterminism that no
+// seed can reproduce.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements and channel operations in simulator packages; " +
+		"all concurrency is modeled in virtual time via engine events",
+	Run: runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in simulator code; schedule an engine event instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in simulator code; use engine callbacks instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in simulator code; use engine callbacks instead")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in simulator code; use engine callbacks instead")
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in simulator code; use engine callbacks instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

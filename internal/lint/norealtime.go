@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// wall clock. Pure conversions and constants (time.Duration,
+// time.Millisecond, ...) remain allowed: they carry no real-time
+// dependence.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoRealTime forbids wall-clock time in simulation code. Simulated
+// components must advance only the engine's virtual clock (sim.Time via
+// Engine.Now/After/At); a single time.Now leaks host timing into a run
+// and breaks seed-reproducibility.
+var NoRealTime = &Analyzer{
+	Name: "norealtime",
+	Doc: "forbid time.Now/time.Since/time.Sleep and friends in simulation code; " +
+		"use the engine's virtual clock (sim.Time) instead",
+	Run: runNoRealTime,
+}
+
+func runNoRealTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.Info, sel)
+			if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), fmt.Sprintf(
+				"wall-clock call time.%s in simulation code; use the virtual clock (sim.Time, Engine.Now/After/At)",
+				fn.Name()))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to the packages, honoring per-analyzer
+// scoping and //lint:ignore suppression. scope may be nil (all analyzers
+// apply everywhere). Findings come back sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, scope func(a *Analyzer, pkgPath string) bool) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := ignoreDirectives(fset, pkg)
+		for _, a := range analyzers {
+			if scope != nil && !scope(a, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if ignores.covers(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet records //lint:ignore directives: a directive written as
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses the named analyzers on its own line (trailing comment) and
+// on the line immediately below (comment-above style). The reason is
+// mandatory so suppressions stay auditable.
+type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
+
+func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ignoreDirectives(fset *token.FileSet, pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive is ignored
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return set
+}

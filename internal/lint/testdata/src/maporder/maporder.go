@@ -1,0 +1,69 @@
+// Package maporder exercises the maporder analyzer: order-sensitive
+// work inside map iteration is flagged unless the collect-then-sort
+// idiom is used.
+package maporder
+
+import "sort"
+
+type engine struct{}
+
+func (engine) After(d int64, fn func()) {}
+
+func badAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+func badSchedule(m map[int]int, eng engine) {
+	for range m {
+		eng.After(1, func() {}) // want `After call inside map iteration`
+	}
+}
+
+func badFloatCompound(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation inside map iteration`
+	}
+	return total
+}
+
+func badFloatRebind(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation inside map iteration`
+	}
+	return total
+}
+
+func goodSortedKeys(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: not flagged
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func goodIntCounter(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation is order-independent
+	}
+	return n
+}
+
+func goodSliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v // slice iteration order is defined
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package noglobalrand exercises the noglobalrand analyzer: the global
+// stream's convenience functions are flagged; injected seeded streams
+// are not.
+package noglobalrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)    // want `rand\.Intn draws from the process-global stream`
+	_ = rand.Float64()   // want `rand\.Float64 draws from the process-global stream`
+	_ = rand.Int63()     // want `rand\.Int63 draws from the process-global stream`
+	_ = rand.Perm(4)     // want `rand\.Perm draws from the process-global stream`
+	rand.Seed(42)        // want `rand\.Seed draws from the process-global stream`
+	f := rand.ExpFloat64 // want `rand\.ExpFloat64 draws from the process-global stream`
+	_ = f
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Float64()
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = z.Uint64()
+	return rng.Intn(10)
+}

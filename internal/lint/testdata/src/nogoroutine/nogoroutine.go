@@ -1,0 +1,21 @@
+// Package nogoroutine exercises the nogoroutine analyzer: goroutines
+// and channel operations are flagged in simulator packages.
+package nogoroutine
+
+func bad(ch chan int) {
+	go func() {}() // want `go statement in simulator code`
+	ch <- 1        // want `channel send in simulator code`
+	_ = <-ch       // want `channel receive in simulator code`
+	select {       // want `select statement in simulator code`
+	default:
+	}
+	for range ch { // want `range over channel in simulator code`
+	}
+}
+
+func good(events []func()) {
+	// Callback-driven code is the sanctioned concurrency model.
+	for _, fn := range events {
+		fn()
+	}
+}

@@ -1,0 +1,20 @@
+// Package norealtime exercises the norealtime analyzer: wall-clock
+// reads and waits are flagged; pure duration arithmetic is not.
+package norealtime
+
+import "time"
+
+func bad() time.Duration {
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+	t := time.Now()              // want `wall-clock call time\.Now`
+	tick := time.Tick(1)         // want `wall-clock call time\.Tick`
+	_ = tick
+	_ = time.Until(t)    // want `wall-clock call time\.Until`
+	return time.Since(t) // want `wall-clock call time\.Since`
+}
+
+func good(d time.Duration) time.Duration {
+	// Conversions and constants carry no wall-clock dependence.
+	virtual := int64(d) + int64(5*time.Millisecond)
+	return time.Duration(virtual)
+}

@@ -1,0 +1,16 @@
+// Package suppressed exercises //lint:ignore handling: a directive with
+// a reason suppresses the named analyzer on its own line and the line
+// below; a directive without a reason is inert.
+package suppressed
+
+import "math/rand"
+
+//lint:ignore noglobalrand fixture exercises suppression
+var suppressedAbove = rand.Int63()
+
+var suppressedTrailing = rand.Int63() //lint:ignore noglobalrand fixture exercises suppression
+
+//lint:ignore noglobalrand
+var reasonMissing = rand.Int63()
+
+var unsuppressed = rand.Int63()

@@ -19,6 +19,7 @@ package nvme
 import (
 	"fmt"
 
+	"github.com/gmtsim/gmt/internal/invariant"
 	"github.com/gmtsim/gmt/internal/pcie"
 	"github.com/gmtsim/gmt/internal/sim"
 )
@@ -161,6 +162,9 @@ func (d *Disk) Submit(cmd Command, done func(Completion)) {
 	q := d.queues[d.next]
 	d.next = (d.next + 1) % len(d.queues)
 	q.Acquire(func() {
+		invariant.Assert(q.InUse() <= d.cfg.QueueDepth,
+			"nvme: %d commands in flight on one queue pair, above configured QD %d",
+			q.InUse(), d.cfg.QueueDepth)
 		submitted := d.eng.Now()
 		// Doorbell + command fetch.
 		d.eng.After(d.cfg.CommandOverhead, func() {
@@ -172,9 +176,12 @@ func (d *Disk) Submit(cmd Command, done func(Completion)) {
 }
 
 func (d *Disk) service(q *sim.Server, cmd Command, submitted sim.Time, done func(Completion)) {
+	invariant.Assert(d.chans.InUse() <= d.cfg.Channels,
+		"nvme: %d flash channels busy, above configured %d", d.chans.InUse(), d.cfg.Channels)
 	finish := func() {
 		d.chans.Release()
 		q.Release()
+		d.link.CheckInvariants()
 		c := Completion{Command: cmd, Submitted: submitted, Done: d.eng.Now()}
 		d.completions++
 		d.latencySum += c.Latency()

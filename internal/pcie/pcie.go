@@ -8,7 +8,10 @@
 // per-transaction latency that pipelines across outstanding transfers.
 package pcie
 
-import "github.com/gmtsim/gmt/internal/sim"
+import (
+	"github.com/gmtsim/gmt/internal/invariant"
+	"github.com/gmtsim/gmt/internal/sim"
+)
 
 // Per-lane effective data rate for PCIe generations, in bytes/second.
 // These are effective rates after 128b/130b encoding and protocol
@@ -28,6 +31,7 @@ type Link struct {
 	// from GPU to host memory); Down carries data back (e.g. reads).
 	Up, Down *sim.Pipe
 
+	eng   *sim.Engine
 	lanes int
 	bw    int64
 }
@@ -43,12 +47,32 @@ func NewLinkRate(eng *sim.Engine, lanes int, laneBytesPerS int64, latency sim.Ti
 		panic("pcie: lanes must be >= 1")
 	}
 	bw := int64(lanes) * laneBytesPerS
+	invariant.Assert(bw > 0, "pcie: non-positive link bandwidth %d (%d lanes x %d B/s)", bw, lanes, laneBytesPerS)
 	return &Link{
 		Up:    sim.NewPipe(eng, bw, latency),
 		Down:  sim.NewPipe(eng, bw, latency),
+		eng:   eng,
 		lanes: lanes,
 		bw:    bw,
 	}
+}
+
+// CheckInvariants asserts per-direction bandwidth conservation: the
+// cumulative transfer time granted on a direction can never exceed the
+// window the pipe has committed (now + backlog), i.e. grants never run
+// faster than the link's byte rate. Active only under -tags
+// gmtinvariants; devices call it at completion boundaries.
+func (l *Link) CheckInvariants() {
+	if !invariant.Enabled {
+		return
+	}
+	now := l.eng.Now()
+	invariant.Assert(l.Up.BusyTime() <= now+l.Up.Backlog(),
+		"pcie: up direction granted %d ns of transfer inside a %d ns committed window (capacity %d B/s exceeded)",
+		l.Up.BusyTime(), now+l.Up.Backlog(), l.bw)
+	invariant.Assert(l.Down.BusyTime() <= now+l.Down.Backlog(),
+		"pcie: down direction granted %d ns of transfer inside a %d ns committed window (capacity %d B/s exceeded)",
+		l.Down.BusyTime(), now+l.Down.Backlog(), l.bw)
 }
 
 // Lanes reports the link width.

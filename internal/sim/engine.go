@@ -12,6 +12,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"github.com/gmtsim/gmt/internal/invariant"
 )
 
 // Time is virtual time in nanoseconds since the start of the run.
@@ -103,6 +105,8 @@ func (e *Engine) RunUntil(t Time) {
 
 func (e *Engine) step() {
 	ev := heap.Pop(&e.events).(event)
+	invariant.Assert(ev.at >= e.now,
+		"sim: clock would run backwards: dispatching event at %d with clock at %d", ev.at, e.now)
 	e.now = ev.at
 	e.steps++
 	ev.fn()

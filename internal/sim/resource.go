@@ -1,5 +1,7 @@
 package sim
 
+import "github.com/gmtsim/gmt/internal/invariant"
+
 // Server is a capacity-limited resource with a FIFO wait queue: at most
 // Capacity holders at a time. It models things like NVMe controller
 // command slots, host fault-handler threads, and DMA engines.
@@ -28,6 +30,8 @@ func (s *Server) Acquire(fn func()) {
 	if s.busy < s.capacity {
 		s.busy++
 		s.grants++
+		invariant.Assert(s.busy <= s.capacity,
+			"sim: server holds %d grants above capacity %d", s.busy, s.capacity)
 		fn()
 		return
 	}
@@ -138,10 +142,14 @@ func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
 }
 
 func (p *Pipe) transfer(n int64, occ Time, done func()) {
+	invariant.Assert(occ >= p.TransferTime(n),
+		"sim: pipe granted %d bytes in %d ns, faster than capacity %d B/s allows", n, occ, p.bytesPerS)
 	start := p.freeAt
 	if now := p.eng.Now(); start < now {
 		start = now
 	}
+	invariant.Assert(start+occ >= p.freeAt,
+		"sim: pipe commitment moved backwards: %d -> %d", p.freeAt, start+occ)
 	p.freeAt = start + occ
 	p.bytes += n
 	p.transfers++

@@ -7,7 +7,11 @@
 // (dirty bits, timestamps, predictor state) lives with the runtime.
 package tier
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt/internal/invariant"
+)
 
 // PageID identifies a 64 KiB page by its index in the application's
 // backing dataset (its "home" location on the SSD).
@@ -82,6 +86,15 @@ func (c *Clock) Insert(p PageID) {
 	c.slots[i] = p
 	c.ref[i] = true
 	c.index[p] = i
+	c.checkSlots()
+}
+
+// checkSlots asserts the clock's conservation invariant: every slot is
+// either resident or free (gmtinvariants builds only).
+func (c *Clock) checkSlots() {
+	invariant.Assert(len(c.index)+len(c.free) == len(c.slots),
+		"tier: clock slot leak: %d resident + %d free != %d capacity",
+		len(c.index), len(c.free), len(c.slots))
 }
 
 // Touch sets p's reference bit; it is a no-op if p is absent.
@@ -101,6 +114,7 @@ func (c *Clock) Remove(p PageID) bool {
 	c.slots[i] = NoPage
 	c.ref[i] = false
 	c.free = append(c.free, i)
+	c.checkSlots()
 	return true
 }
 
@@ -189,6 +203,8 @@ func (f *FIFO) Insert(p PageID) {
 	f.index[p] = struct{}{}
 	f.queue = append(f.queue, p)
 	f.compact()
+	invariant.Assert(len(f.index) <= f.capacity,
+		"tier: fifo holds %d residents above capacity %d", len(f.index), f.capacity)
 }
 
 // Remove deletes p (leaving a tombstone in the queue).
