@@ -12,6 +12,7 @@ package gmt
 // gmtbench command runs the same drivers at any scale.
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/gmtsim/gmt/internal/core"
@@ -21,6 +22,45 @@ import (
 	"github.com/gmtsim/gmt/internal/workload"
 	"github.com/gmtsim/gmt/internal/xfer"
 )
+
+// BenchmarkEngineEventRetention is the event-closure retention
+// regression: eventHeap.Pop used to shrink the heap without zeroing the
+// vacated slot, keeping every dispatched closure — and the buffers it
+// captured — reachable from the backing array for the engine's
+// lifetime. The retained_MB metric measures live heap after a full run
+// with the engine still referenced; pre-fix it scales with the total
+// event count (~64 MB here), post-fix it stays near zero.
+func BenchmarkEngineEventRetention(b *testing.B) {
+	const events = 1024
+	const payload = 64 * 1024
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		for j := 0; j < events; j++ {
+			buf := make([]byte, payload)
+			eng.At(sim.Time(j+1), func() { buf[0]++ })
+		}
+		eng.Run()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/1e6, "retained_MB")
+		runtime.KeepAlive(eng)
+	}
+}
+
+// BenchmarkParallelPrewarm runs the Figure 8 sweep through the parallel
+// prewarmer and reports how many simulations the pool executed; the
+// rendered figure afterwards must be served entirely from the memo.
+func BenchmarkParallelPrewarm(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(benchScale())
+		rep := exp.Prewarm(s, []string{"fig8"}, workers, nil)
+		reportFig8(b, s)
+		b.ReportMetric(float64(rep.Sims), "prewarm_sims")
+		b.ReportMetric(float64(rep.JobsPlanned), "prewarm_jobs")
+	}
+}
 
 // runCore executes a trace against a core runtime configuration and
 // returns the virtual wall time.
@@ -153,7 +193,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := exp.Figure11(benchScale())
+		rows, _ := exp.Figure11(exp.NewSuite(benchScale()))
 		t := 0.0
 		for _, r := range rows {
 			t += r.Speedup["GMT-Reuse"]
@@ -164,7 +204,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		byRatio, _ := exp.Figure12(benchScale())
+		byRatio, _ := exp.Figure12(exp.NewSuite(benchScale()))
 		for _, ratio := range []int{2, 4, 8} {
 			t := 0.0
 			rows := byRatio[ratio]
@@ -185,7 +225,7 @@ func BenchmarkFigure12(b *testing.B) {
 
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _ := exp.Figure13(benchScale())
+		rows, _ := exp.Figure13(exp.NewSuite(benchScale()))
 		t := 0.0
 		for _, r := range rows {
 			t += r.Speedup["GMT-Reuse"]

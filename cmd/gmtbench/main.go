@@ -6,19 +6,26 @@
 //
 //	gmtbench [flags] [experiment ...]
 //
-// Experiments: table2, fig4, fig6, fig7, fig8, fig9, fig10, fig11,
-// fig12, fig13, fig14, oracle, ext, ssd, predictors, warmup, and all
-// (the default).
+// Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10,
+// fig11, fig12, fig13, fig14, oracle, ext, ssd, predictors, warmup,
+// util, and all (the default).
 //
 // Flags:
 //
-//	-t1 N     Tier-1 capacity in 64 KiB pages (default 1024 ≈ paper's 16 GB / 256)
-//	-t2 N     Tier-2 capacity in pages (default 4096)
-//	-osf F    oversubscription factor (default 2)
-//	-quick    quarter-scale run (fast smoke of every experiment)
-//	-json     emit rows as JSON instead of rendered tables
-//	-svg DIR  additionally write SVG figures (fig6, fig8, fig9, fig12,
-//	          fig14, ssd) into DIR
+//	-t1 N        Tier-1 capacity in 64 KiB pages (default 1024 ≈ paper's 16 GB / 256)
+//	-t2 N        Tier-2 capacity in pages (default 4096)
+//	-osf F       oversubscription factor (default 2)
+//	-quick       quarter-scale run (fast smoke of every experiment)
+//	-json        emit rows as JSON instead of rendered tables
+//	-svg DIR     additionally write SVG figures (fig6, fig8, fig9, fig12,
+//	             fig14, ssd) into DIR
+//	-parallel N  worker goroutines prewarming traces and simulations
+//	             (default GOMAXPROCS; 1 = fully sequential). Output is
+//	             byte-identical for any N: workers only fill the result
+//	             memo, rendering then replays the same sequential reads.
+//	-benchjson P write a machine-readable benchmark report (schema
+//	             gmt-bench-suite/v1: per-experiment wall clock, prewarm
+//	             job/hit counts, estimated speedup vs sequential) to P
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/gmtsim/gmt/internal/exp"
@@ -35,6 +43,41 @@ import (
 	"github.com/gmtsim/gmt/internal/xfer"
 )
 
+// benchReport is the -benchjson output (schema gmt-bench-suite/v1).
+type benchReport struct {
+	Schema          string            `json:"schema"`
+	Scale           workload.Scale    `json:"scale"`
+	Parallel        int               `json:"parallel"`
+	Prewarm         *benchPrewarm     `json:"prewarm,omitempty"`
+	Experiments     []benchExperiment `json:"experiments"`
+	TotalWallMS     float64           `json:"total_wall_ms"`
+	EstSequentialMS float64           `json:"est_sequential_ms"`
+	SpeedupVsSeq    float64           `json:"speedup_vs_sequential"`
+}
+
+type benchPrewarm struct {
+	Workers   int          `json:"workers"`
+	Jobs      int          `json:"jobs"`
+	Sims      int64        `json:"simulations"`
+	CacheHits int64        `json:"cache_hits"`
+	BusyMS    float64      `json:"busy_ms"`
+	WallMS    float64      `json:"wall_ms"`
+	Phases    []benchPhase `json:"phases"`
+}
+
+type benchPhase struct {
+	Name   string  `json:"name"`
+	Jobs   int     `json:"jobs"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type benchExperiment struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 func main() {
 	t1 := flag.Int("t1", 1024, "Tier-1 capacity in 64 KiB pages")
 	t2 := flag.Int("t2", 4096, "Tier-2 capacity in 64 KiB pages")
@@ -42,6 +85,10 @@ func main() {
 	quick := flag.Bool("quick", false, "quarter-scale fast run")
 	jsonOut := flag.Bool("json", false, "emit rows as JSON")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines prewarming simulations (1 = sequential)")
+	benchjson := flag.String("benchjson", "",
+		"write a gmt-bench-suite/v1 JSON report to this path")
 	flag.Parse()
 
 	writeSVG := func(name string, f *plot.Figure) {
@@ -66,11 +113,6 @@ func main() {
 	if *quick {
 		scale.Tier1Pages = *t1 / 4
 		scale.Tier2Pages = *t2 / 4
-	}
-
-	experiments := flag.Args()
-	if len(experiments) == 0 {
-		experiments = []string{"all"}
 	}
 
 	var suite *exp.Suite
@@ -125,16 +167,16 @@ func main() {
 			return r, t.Render()
 		},
 		"fig11": func() (interface{}, string) {
-			r, t := exp.Figure11(scale)
+			r, t := exp.Figure11(getSuite())
 			return r, t.Render()
 		},
 		"fig12": func() (interface{}, string) {
-			r, t := exp.Figure12(scale)
+			r, t := exp.Figure12(getSuite())
 			writeSVG("fig12", exp.Figure12SVG(r))
 			return r, t.Render()
 		},
 		"fig13": func() (interface{}, string) {
-			r, t := exp.Figure13(scale)
+			r, t := exp.Figure13(getSuite())
 			return r, t.Render()
 		},
 		"fig14": func() (interface{}, string) {
@@ -170,15 +212,57 @@ func main() {
 			return r, t.Render()
 		},
 	}
-	order := []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "oracle", "ext", "ssd",
-		"predictors", "warmup", "util"}
+	order := exp.ExperimentNames
+
+	// Expand "all" and validate names up front, so the planner sees the
+	// complete job set before any worker starts.
+	var experiments []string
+	for _, name := range flag.Args() {
+		if name == "all" {
+			experiments = append(experiments, order...)
+			continue
+		}
+		if _, ok := run[name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v or 'all'\n", name, order)
+			os.Exit(2)
+		}
+		experiments = append(experiments, name)
+	}
+	if len(experiments) == 0 {
+		experiments = order
+	}
+
+	// The exp package is banned from reading wall time (the norealtime
+	// analyzer covers everything outside cmd/), so inject a monotonic
+	// clock for the prewarm report.
+	harnessStart := time.Now()
+	clock := func() int64 { return int64(time.Since(harnessStart)) }
+
+	needsSuite := false
+	for _, name := range experiments {
+		if name != "fig6" {
+			needsSuite = true
+		}
+	}
+
+	var prewarm *exp.Report
+	if *parallel > 1 && needsSuite {
+		rep := exp.Prewarm(getSuite(), experiments, *parallel, clock)
+		prewarm = &rep
+		if !*jsonOut {
+			fmt.Printf("prewarmed %d jobs on %d workers: %d simulations, %d memo hits [%v]\n\n",
+				rep.JobsPlanned, rep.Workers, rep.Sims, rep.CacheHits,
+				time.Duration(rep.WallNS).Round(time.Millisecond))
+		}
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	var timings []benchExperiment
 	execute := func(name string, fn func() (interface{}, string)) {
 		start := time.Now()
 		rows, text := fn()
+		timings = append(timings, benchExperiment{Name: name, WallMS: ms(time.Since(start))})
 		if *jsonOut {
 			if err := enc.Encode(map[string]interface{}{
 				"experiment": name,
@@ -194,17 +278,53 @@ func main() {
 	}
 
 	for _, name := range experiments {
-		if name == "all" {
-			for _, n := range order {
-				execute(n, run[n])
+		execute(name, run[name])
+	}
+
+	if *benchjson != "" {
+		rep := benchReport{
+			Schema:      "gmt-bench-suite/v1",
+			Scale:       scale,
+			Parallel:    *parallel,
+			Experiments: timings,
+			TotalWallMS: ms(time.Since(harnessStart)),
+		}
+		rep.EstSequentialMS = 0
+		for _, e := range timings {
+			rep.EstSequentialMS += e.WallMS
+		}
+		if prewarm != nil {
+			bp := &benchPrewarm{
+				Workers:   prewarm.Workers,
+				Jobs:      prewarm.JobsPlanned,
+				Sims:      prewarm.Sims,
+				CacheHits: prewarm.CacheHits,
+				BusyMS:    float64(prewarm.BusyNS) / 1e6,
+				WallMS:    float64(prewarm.WallNS) / 1e6,
 			}
-			continue
+			for _, ph := range prewarm.Phases {
+				bp.Phases = append(bp.Phases, benchPhase{
+					Name: ph.Name, Jobs: ph.Jobs, WallMS: float64(ph.WallNS) / 1e6,
+				})
+			}
+			rep.Prewarm = bp
+			// Sequential estimate: all prewarm work done back to back on
+			// one worker, plus the (memo-served) rendering pass.
+			rep.EstSequentialMS += bp.BusyMS
 		}
-		fn, ok := run[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v or 'all'\n", name, order)
-			os.Exit(2)
+		if rep.TotalWallMS > 0 {
+			rep.SpeedupVsSeq = rep.EstSequentialMS / rep.TotalWallMS
 		}
-		execute(name, fn)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchjson, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *benchjson)
+		}
 	}
 }

@@ -28,3 +28,33 @@ func TestFigure8ByteIdentical(t *testing.T) {
 			first, second)
 	}
 }
+
+// TestParallelPrewarmByteIdentical is the parallel-path determinism
+// gate: prewarming the suite on a multi-worker pool and then rendering
+// must produce byte-identical output to a fully sequential run — the
+// pool only fills the memo, so worker count and scheduling order must
+// be invisible. Runs with -race in CI, which also exercises the suite
+// lock under real contention.
+func TestParallelPrewarmByteIdentical(t *testing.T) {
+	experiments := []string{"fig8", "fig9", "fig14"}
+	render := func(workers int) string {
+		s := NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
+		if workers > 1 {
+			rep := Prewarm(s, experiments, workers, nil)
+			if rep.JobsPlanned == 0 {
+				t.Fatal("parallel prewarm planned no jobs")
+			}
+		}
+		rows8, tbl8 := Figure8(s)
+		rows9, tbl9 := Figure9(s)
+		rows14, tbl14 := Figure14(s)
+		return tbl8.Render() + tbl9.Render() + tbl14.Render() +
+			fmt.Sprintf("%#v%#v%#v", rows8, rows9, rows14)
+	}
+	sequential := render(1)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != sequential {
+			t.Fatalf("%d-worker prewarm diverged from the sequential run", workers)
+		}
+	}
+}

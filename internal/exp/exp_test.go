@@ -247,7 +247,7 @@ func TestFigure10LookupDiscipline(t *testing.T) {
 
 func TestFigure11LowerButPositive(t *testing.T) {
 	rows8, _ := Figure8(shared)
-	rows11, _ := Figure11(testScale())
+	rows11, _ := Figure11(shared)
 	if len(rows11) != 9 {
 		t.Fatalf("rows = %d", len(rows11))
 	}
@@ -274,7 +274,7 @@ func TestFigure11LowerButPositive(t *testing.T) {
 }
 
 func TestFigure12RatioTrend(t *testing.T) {
-	byRatio, _ := Figure12(testScale())
+	byRatio, _ := Figure12(shared)
 	avg := map[int]float64{}
 	for ratio, rows := range byRatio {
 		var xs []float64
@@ -295,7 +295,7 @@ func TestFigure12RatioTrend(t *testing.T) {
 }
 
 func TestFigure13DoubledTier1(t *testing.T) {
-	rows, _ := Figure13(testScale())
+	rows, _ := Figure13(shared)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 6 non-graph apps", len(rows))
 	}

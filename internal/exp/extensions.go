@@ -14,23 +14,21 @@ import (
 // RunConfig simulates a workload under an explicit runtime
 // configuration, memoized under key.
 func (s *Suite) RunConfig(key string, w workload.Workload, cfg core.Config) stats.Run {
-	full := w.Name() + "/" + key
-	if r, ok := s.results[full]; ok {
-		return r
-	}
-	eng := sim.NewEngine()
-	rt := core.NewRuntime(eng, cfg)
-	g := gpu.New(eng, s.GPU, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
-	g.Launch()
-	eng.Run()
-	if !g.Done() {
-		panic(fmt.Sprintf("exp: %s under %s did not finish", w.Name(), key))
-	}
-	m := rt.Snapshot()
-	m.App = w.Name()
-	m.WallTime = eng.Now()
-	s.results[full] = m
-	return m
+	gcfg := s.GPU
+	return s.memoRun(w.Name()+"/"+key, func() stats.Run {
+		eng := sim.NewEngine()
+		rt := core.NewRuntime(eng, cfg)
+		g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
+		g.Launch()
+		eng.Run()
+		if !g.Done() {
+			panic(fmt.Sprintf("exp: %s under %s did not finish", w.Name(), key))
+		}
+		m := rt.Snapshot()
+		m.App = w.Name()
+		m.WallTime = eng.Now()
+		return m
+	})
 }
 
 // RunOracle simulates the offline Belady-style upper bound. The bound
@@ -130,7 +128,7 @@ func RegressionWarmup(s *Suite) ([]WarmupRow, *stats.Table) {
 			m := rt.Snapshot()
 			m.App = w.Name()
 			m.WallTime = eng.Now()
-			s.results[w.Name()+"/"+key] = m
+			s.storeResult(w.Name()+"/"+key, m)
 			hist := rt.History()
 			third := len(hist) / 3
 			if third < 1 {
@@ -173,6 +171,15 @@ var Predictors = []core.PredictorKind{
 	core.PredictorMarkov, core.PredictorLastClass, core.PredictorStatic,
 }
 
+// predictorConfig is the shared builder for one predictor-ablation run;
+// the job planner (plan.go) and the driver below must agree on the memo
+// key and configuration.
+func (s *Suite) predictorConfig(pk core.PredictorKind) (key string, cfg core.Config) {
+	cfg = s.config(core.PolicyReuse)
+	cfg.Predictor = pk
+	return "reuse-pred-" + pk.String(), cfg
+}
+
 // PredictorAblation tests §2.1.3's claim that "a simple 2-level history
 // suffices for making fairly accurate prediction": the Markov chain
 // against a 1-level last-class predictor (which cannot track
@@ -187,9 +194,8 @@ func PredictorAblation(s *Suite) ([]PredictorRow, *stats.Table) {
 		r := PredictorRow{App: w.Name(), Speedup: map[string]float64{}, Accuracy: map[string]float64{}}
 		cells := []string{r.App}
 		for _, pk := range Predictors {
-			cfg := s.config(core.PolicyReuse)
-			cfg.Predictor = pk
-			run := s.RunConfig("reuse-pred-"+pk.String(), w, cfg)
+			key, cfg := s.predictorConfig(pk)
+			run := s.RunConfig(key, w, cfg)
 			r.Speedup[pk.String()] = run.SpeedupOver(bam)
 			r.Accuracy[pk.String()] = run.PredictionAccuracy()
 			cells = append(cells, fmt.Sprintf("%s (%s)",
@@ -214,6 +220,21 @@ type ExtensionRow struct {
 	PrefetchUseful  float64 // fraction of prefetches later demanded
 }
 
+// reuseAsyncConfig and reusePrefetchConfig are the shared builders for
+// the extension-study runs (same key/config contract as
+// predictorConfig).
+func (s *Suite) reuseAsyncConfig() (key string, cfg core.Config) {
+	cfg = s.config(core.PolicyReuse)
+	cfg.AsyncEviction = true
+	return "reuse-async", cfg
+}
+
+func (s *Suite) reusePrefetchConfig() (key string, cfg core.Config) {
+	cfg = s.config(core.PolicyReuse)
+	cfg.PrefetchDegree = 4
+	return "reuse-prefetch4", cfg
+}
+
 // Extensions evaluates the paper's future-work directions.
 func Extensions(s *Suite) ([]ExtensionRow, *stats.Table) {
 	t := stats.NewTable("Extensions: §5 async eviction and §2 sequential prefetch (speedup over plain GMT-Reuse)",
@@ -221,12 +242,10 @@ func Extensions(s *Suite) ([]ExtensionRow, *stats.Table) {
 	var rows []ExtensionRow
 	for _, w := range s.Apps() {
 		base := s.Run(w, core.PolicyReuse)
-		async := s.config(core.PolicyReuse)
-		async.AsyncEviction = true
-		ar := s.RunConfig("reuse-async", w, async)
-		pf := s.config(core.PolicyReuse)
-		pf.PrefetchDegree = 4
-		pr := s.RunConfig("reuse-prefetch4", w, pf)
+		asyncKey, async := s.reuseAsyncConfig()
+		ar := s.RunConfig(asyncKey, w, async)
+		pfKey, pf := s.reusePrefetchConfig()
+		pr := s.RunConfig(pfKey, w, pf)
 		r := ExtensionRow{
 			App:             w.Name(),
 			AsyncSpeedup:    ar.SpeedupOver(base),

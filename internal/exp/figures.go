@@ -254,19 +254,31 @@ type SensitivityRow struct {
 	Speedup map[string]float64
 }
 
+// figure11Suites derives Figure 11's two alternate-scale sub-suites
+// from the parent: doubled oversubscription for the non-graph
+// applications, halved tiers for the graph applications.
+func (s *Suite) figure11Suites() (ng, g *Suite) {
+	base := s.Scale
+	ng = s.derived("fig11/nongraph", func() *Suite {
+		sc := base
+		sc.Oversubscription = 2 * base.Oversubscription
+		return NewRegularSuite(sc)
+	})
+	g = s.derived("fig11/graph", func() *Suite {
+		return NewSuite(workload.Scale{
+			Tier1Pages:       base.Tier1Pages / 2,
+			Tier2Pages:       base.Tier2Pages / 2,
+			Oversubscription: base.Oversubscription,
+		})
+	})
+	return ng, g
+}
+
 // Figure11 doubles the oversubscription factor to 4 (paper: doubled
 // datasets for non-graph applications, halved tiers for graph
 // applications) and reports speedups over BaM.
-func Figure11(base workload.Scale) ([]SensitivityRow, *stats.Table) {
-	nonGraph := base
-	nonGraph.Oversubscription = 2 * base.Oversubscription
-	graph := workload.Scale{
-		Tier1Pages:       base.Tier1Pages / 2,
-		Tier2Pages:       base.Tier2Pages / 2,
-		Oversubscription: base.Oversubscription,
-	}
-	ngSuite := NewRegularSuite(nonGraph)
-	gSuite := NewSuite(graph)
+func Figure11(s *Suite) ([]SensitivityRow, *stats.Table) {
+	ngSuite, gSuite := s.figure11Suites()
 
 	t := stats.NewTable("Figure 11: Speedup over BaM at oversubscription factor 4",
 		"Application", "TierOrder", "Random", "Reuse")
@@ -304,24 +316,37 @@ func appByName(s *Suite, name string) workload.Workload {
 	panic("exp: unknown app " + name)
 }
 
+// figure12Ratios are the Tier-2:Tier-1 ratios Figure 12 sweeps.
+var figure12Ratios = []int{2, 4, 8}
+
+// figure12Suites derives one sub-suite per Tier-2:Tier-1 ratio.
+func (s *Suite) figure12Suites() map[int]*Suite {
+	base := s.Scale
+	suites := make(map[int]*Suite)
+	for _, ratio := range figure12Ratios {
+		ratio := ratio
+		suites[ratio] = s.derived(fmt.Sprintf("fig12/ratio%d", ratio), func() *Suite {
+			sc := base
+			sc.Tier2Pages = ratio * base.Tier1Pages
+			return NewSuite(sc)
+		})
+	}
+	return suites
+}
+
 // Figure12 varies the Tier-2:Tier-1 ratio (2, 4, 8) and reports
 // GMT-Reuse's speedup over BaM.
-func Figure12(base workload.Scale) (map[int][]SensitivityRow, *stats.Table) {
-	ratios := []int{2, 4, 8}
+func Figure12(s *Suite) (map[int][]SensitivityRow, *stats.Table) {
+	ratios := figure12Ratios
 	t := stats.NewTable("Figure 12: GMT-Reuse speedup over BaM for Tier-2:Tier-1 ratios",
 		"Application", "Ratio 2", "Ratio 4", "Ratio 8")
 	byRatio := make(map[int][]SensitivityRow)
-	suites := make(map[int]*Suite)
-	for _, ratio := range ratios {
-		sc := base
-		sc.Tier2Pages = ratio * base.Tier1Pages
-		suites[ratio] = NewSuite(sc)
-	}
+	suites := s.figure12Suites()
 	for _, name := range workload.Names {
 		cells := []string{name}
 		for _, ratio := range ratios {
-			s := suites[ratio]
-			sp := s.Speedup(appByName(s, name), core.PolicyReuse)
+			sub := suites[ratio]
+			sp := sub.Speedup(appByName(sub, name), core.PolicyReuse)
 			byRatio[ratio] = append(byRatio[ratio], SensitivityRow{
 				App: name, Speedup: map[string]float64{"GMT-Reuse": sp},
 			})
@@ -332,22 +357,29 @@ func Figure12(base workload.Scale) (map[int][]SensitivityRow, *stats.Table) {
 	return byRatio, t
 }
 
+// figure13Suite derives Figure 13's doubled-Tier-1 sub-suite.
+func (s *Suite) figure13Suite() *Suite {
+	base := s.Scale
+	return s.derived("fig13", func() *Suite {
+		return NewRegularSuite(workload.Scale{
+			Tier1Pages:       2 * base.Tier1Pages,
+			Tier2Pages:       2 * base.Tier2Pages,
+			Oversubscription: base.Oversubscription,
+		})
+	})
+}
+
 // Figure13 doubles Tier-1 (and the datasets with it, OSF staying 2) and
 // reports speedups for the non-graph applications.
-func Figure13(base workload.Scale) ([]SensitivityRow, *stats.Table) {
-	sc := workload.Scale{
-		Tier1Pages:       2 * base.Tier1Pages,
-		Tier2Pages:       2 * base.Tier2Pages,
-		Oversubscription: base.Oversubscription,
-	}
-	s := NewRegularSuite(sc)
+func Figure13(s *Suite) ([]SensitivityRow, *stats.Table) {
+	sub := s.figure13Suite()
 	t := stats.NewTable("Figure 13: Speedup over BaM with doubled Tier-1 (non-graph applications)",
 		"Application", "TierOrder", "Random", "Reuse")
 	var rows []SensitivityRow
-	for _, w := range s.Apps() {
+	for _, w := range sub.Apps() {
 		r := SensitivityRow{App: w.Name(), Speedup: map[string]float64{}}
 		for _, p := range Policies {
-			r.Speedup[p.String()] = s.Speedup(w, p)
+			r.Speedup[p.String()] = sub.Speedup(w, p)
 		}
 		rows = append(rows, r)
 		t.AddRow(r.App, stats.X(r.Speedup["GMT-TierOrder"]),

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrency boundary of the repository: goroutines
+// exist here (and nowhere below). Each job owns a private sim.Engine —
+// the simulator packages stay single-goroutine — and only the Suite
+// memo is shared, under its lock. Because jobs merely fill the memo and
+// rendering replays the same sequential reads afterwards, output is
+// byte-identical to a sequential run regardless of worker count or
+// scheduling order.
+
+// PhaseReport summarizes one executed phase of a prewarm.
+type PhaseReport struct {
+	Name   string
+	Jobs   int
+	WallNS int64
+}
+
+// Report summarizes a Prewarm invocation.
+type Report struct {
+	Workers     int
+	JobsPlanned int
+	Sims        int64 // simulations/traces executed by prewarm jobs
+	CacheHits   int64 // memo hits observed during prewarm
+	BusyNS      int64 // summed per-job wall time across workers
+	WallNS      int64 // end-to-end prewarm wall time
+	Phases      []PhaseReport
+}
+
+// Prewarm plans the requested experiments (see Plan) and executes the
+// jobs on a pool of workers, phase by phase. The clock is injected by
+// the caller because everything outside cmd/ is banned from reading
+// wall time (cmd/gmtbench passes a monotonic nanosecond clock); a nil
+// clock leaves all timings zero. A job panic is re-raised here after
+// the pool drains.
+func Prewarm(s *Suite, experiments []string, workers int, clock func() int64) Report {
+	if workers < 1 {
+		workers = 1
+	}
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	rep := Report{Workers: workers}
+	sims0, hits0 := s.Counters()
+	start := clock()
+	for _, ph := range Plan(s, experiments) {
+		jobs := ph.Jobs
+		if ph.More != nil {
+			jobs = append(jobs, ph.More()...)
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		phaseStart := clock()
+		rep.BusyNS += runJobs(jobs, workers, clock)
+		rep.Phases = append(rep.Phases, PhaseReport{
+			Name: ph.Name, Jobs: len(jobs), WallNS: clock() - phaseStart,
+		})
+		rep.JobsPlanned += len(jobs)
+	}
+	rep.WallNS = clock() - start
+	sims1, hits1 := s.Counters()
+	rep.Sims, rep.CacheHits = sims1-sims0, hits1-hits0
+	return rep
+}
+
+// runJobs drains the job list on a bounded worker pool and returns the
+// summed per-job busy time. The first job panic is captured and
+// re-raised after all workers exit, so a failed simulation surfaces the
+// same way it would sequentially.
+func runJobs(jobs []Job, workers int, clock func() int64) int64 {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next, busy int64
+	panics := make(chan interface{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for {
+				n := atomic.AddInt64(&next, 1) - 1
+				if n >= int64(len(jobs)) {
+					return
+				}
+				t0 := clock()
+				jobs[n].Run()
+				atomic.AddInt64(&busy, clock()-t0)
+			}
+		}()
+	}
+	wg.Wait()
+	close(panics)
+	if r := <-panics; r != nil {
+		panic(r)
+	}
+	return atomic.LoadInt64(&busy)
+}

@@ -40,6 +40,23 @@ type SSDRow struct {
 	Speedup float64
 }
 
+// ssdGenConfig is the shared builder for one storage-generation run;
+// the job planner (plan.go) and the sweep below must agree on the memo
+// key and configuration.
+func (s *Suite) ssdGenConfig(g SSDGen, p core.PolicyKind) (key string, cfg core.Config) {
+	cfg = s.config(p)
+	cfg.SSD.MediaReadBps = int64(float64(cfg.SSD.MediaReadBps) * g.BWMult)
+	cfg.SSD.MediaWriteBps = int64(float64(cfg.SSD.MediaWriteBps) * g.BWMult)
+	cfg.SSD.ReadLatency = sim.Time(float64(cfg.SSD.ReadLatency) * g.LatMult)
+	cfg.SSD.WriteLatency = sim.Time(float64(cfg.SSD.WriteLatency) * g.LatMult)
+	cfg.SSD.Lanes = g.Lanes
+	key = "reuse/" + g.Name
+	if p == core.PolicyBaM {
+		key = "bam/" + g.Name
+	}
+	return key, cfg
+}
+
 // SSDSensitivity sweeps storage generations.
 func SSDSensitivity(s *Suite) ([]SSDRow, *stats.Table) {
 	t := stats.NewTable("SSD sensitivity: GMT-Reuse speedup over BaM as storage approaches memory",
@@ -49,17 +66,10 @@ func SSDSensitivity(s *Suite) ([]SSDRow, *stats.Table) {
 		w := appByName(s, app)
 		cells := []string{app}
 		for _, g := range SSDGens {
-			mk := func(p core.PolicyKind) core.Config {
-				cfg := s.config(p)
-				cfg.SSD.MediaReadBps = int64(float64(cfg.SSD.MediaReadBps) * g.BWMult)
-				cfg.SSD.MediaWriteBps = int64(float64(cfg.SSD.MediaWriteBps) * g.BWMult)
-				cfg.SSD.ReadLatency = sim.Time(float64(cfg.SSD.ReadLatency) * g.LatMult)
-				cfg.SSD.WriteLatency = sim.Time(float64(cfg.SSD.WriteLatency) * g.LatMult)
-				cfg.SSD.Lanes = g.Lanes
-				return cfg
-			}
-			bam := s.RunConfig("bam/"+g.Name, w, mk(core.PolicyBaM))
-			reuse := s.RunConfig("reuse/"+g.Name, w, mk(core.PolicyReuse))
+			bamKey, bamCfg := s.ssdGenConfig(g, core.PolicyBaM)
+			reuseKey, reuseCfg := s.ssdGenConfig(g, core.PolicyReuse)
+			bam := s.RunConfig(bamKey, w, bamCfg)
+			reuse := s.RunConfig(reuseKey, w, reuseCfg)
 			sp := reuse.SpeedupOver(bam)
 			rows = append(rows, SSDRow{App: app, Gen: g.Name, Speedup: sp})
 			cells = append(cells, stats.X(sp))
@@ -89,6 +99,18 @@ type SSDCountRow struct {
 // BaM-style array.
 var SSDCounts = []int{1, 2, 4}
 
+// ssdCountConfig is the shared builder for one drive-array run (same
+// key/config contract as ssdGenConfig).
+func (s *Suite) ssdCountConfig(n int, p core.PolicyKind) (key string, cfg core.Config) {
+	cfg = s.config(p)
+	cfg.SSDCount = n
+	key = fmt.Sprintf("reuse/x%d", n)
+	if p == core.PolicyBaM {
+		key = fmt.Sprintf("bam/x%d", n)
+	}
+	return key, cfg
+}
+
 // SSDCountSweep measures how striped storage bandwidth (BaM's scaling
 // configuration) erodes the host tier's advantage.
 func SSDCountSweep(s *Suite) ([]SSDCountRow, *stats.Table) {
@@ -99,13 +121,10 @@ func SSDCountSweep(s *Suite) ([]SSDCountRow, *stats.Table) {
 		w := appByName(s, app)
 		cells := []string{app}
 		for _, n := range SSDCounts {
-			mk := func(p core.PolicyKind) core.Config {
-				cfg := s.config(p)
-				cfg.SSDCount = n
-				return cfg
-			}
-			bam := s.RunConfig(fmt.Sprintf("bam/x%d", n), w, mk(core.PolicyBaM))
-			reuse := s.RunConfig(fmt.Sprintf("reuse/x%d", n), w, mk(core.PolicyReuse))
+			bamKey, bamCfg := s.ssdCountConfig(n, core.PolicyBaM)
+			reuseKey, reuseCfg := s.ssdCountConfig(n, core.PolicyReuse)
+			bam := s.RunConfig(bamKey, w, bamCfg)
+			reuse := s.RunConfig(reuseKey, w, reuseCfg)
 			sp := reuse.SpeedupOver(bam)
 			rows = append(rows, SSDCountRow{App: app, Drives: n, Speedup: sp})
 			cells = append(cells, stats.X(sp))

@@ -2,10 +2,17 @@
 // evaluation (§3): each driver runs the necessary simulations and
 // renders the same rows/series the paper reports. Experiment results are
 // deterministic for a given scale and seed.
+//
+// A Suite is safe for concurrent use: the parallel prewarmer (pool.go)
+// runs many simulations at once, each on its own private sim.Engine, and
+// commits results into the memo under the suite lock. The simulator
+// packages themselves stay single-goroutine — concurrency lives entirely
+// at this orchestration layer (see HACKING.md).
 package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/gmtsim/gmt/internal/baseline"
 	"github.com/gmtsim/gmt/internal/core"
@@ -22,25 +29,43 @@ var Policies = []core.PolicyKind{
 
 // Suite caches workloads, traces, and simulation results for one scale,
 // so figures sharing runs (8, 9, 10, 14) pay for each simulation once.
+//
+// Memo keys include a fingerprint of the knobs a result depends on
+// (Seed, GPU, Scale): mutating Seed or GPU between runs transparently
+// computes fresh results instead of returning stale ones, and restoring
+// the old values finds the old results again.
 type Suite struct {
 	Scale workload.Scale
 	GPU   gpu.Config
 	Seed  int64
 
-	apps    []workload.Workload
-	traces  map[string][]gpu.Access
-	results map[string]stats.Run
+	label string // distinguishes derived sub-suites in planner job keys
+	apps  []workload.Workload
+
+	mu            sync.Mutex
+	traces        map[string][]gpu.Access
+	traceInflight map[string]chan struct{}
+	results       map[string]stats.Run
+	runInflight   map[string]chan struct{}
+	subs          map[string]*Suite
+	subOrder      []string
+	sims          int64 // simulations actually executed
+	hits          int64 // memoized results served
 }
 
 // NewSuite builds the nine-application suite at the given scale.
 func NewSuite(scale workload.Scale) *Suite {
 	return &Suite{
-		Scale:   scale,
-		GPU:     gpu.DefaultConfig(),
-		Seed:    1,
-		apps:    workload.All(scale),
-		traces:  make(map[string][]gpu.Access),
-		results: make(map[string]stats.Run),
+		Scale:         scale,
+		GPU:           gpu.DefaultConfig(),
+		Seed:          1,
+		label:         "root",
+		apps:          workload.All(scale),
+		traces:        make(map[string][]gpu.Access),
+		traceInflight: make(map[string]chan struct{}),
+		results:       make(map[string]stats.Run),
+		runInflight:   make(map[string]chan struct{}),
+		subs:          make(map[string]*Suite),
 	}
 }
 
@@ -54,14 +79,160 @@ func NewRegularSuite(scale workload.Scale) *Suite {
 // Apps reports the suite's workloads.
 func (s *Suite) Apps() []workload.Workload { return s.apps }
 
-// Trace returns (and caches) the workload's access trace.
+// fingerprint identifies the mutable knobs results depend on. It is part
+// of every memo key, so stale results can never be returned after a
+// caller changes Seed or GPU (they are simply not found).
+func (s *Suite) fingerprint() string {
+	return fmt.Sprintf("@seed=%d,gpu=%+v,scale=%+v", s.Seed, s.GPU, s.Scale)
+}
+
+// Trace returns (and caches) the workload's access trace. Concurrent
+// callers for the same workload block until the single generation
+// finishes (trace generation is the second-largest cost after the
+// simulations themselves).
 func (s *Suite) Trace(w workload.Workload) []gpu.Access {
-	tr, ok := s.traces[w.Name()]
-	if !ok {
-		tr = w.Trace()
-		s.traces[w.Name()] = tr
+	name := w.Name()
+	for {
+		s.mu.Lock()
+		if tr, ok := s.traces[name]; ok {
+			s.mu.Unlock()
+			return tr
+		}
+		if ch, ok := s.traceInflight[name]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.traceInflight[name] = ch
+		s.mu.Unlock()
+
+		var tr []gpu.Access
+		func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.traceInflight, name)
+				s.mu.Unlock()
+				close(ch)
+			}()
+			tr = w.Trace()
+			s.mu.Lock()
+			s.traces[name] = tr
+			s.mu.Unlock()
+		}()
+		return tr
 	}
-	return tr
+}
+
+// memoRun returns the cached result for key at the current fingerprint,
+// or computes it via compute. Exactly one goroutine computes a given
+// key; others requesting it block until the result is committed. If the
+// computer panics, waiters retry (and typically re-panic the same way).
+func (s *Suite) memoRun(key string, compute func() stats.Run) stats.Run {
+	full := key + s.fingerprint()
+	for {
+		s.mu.Lock()
+		if r, ok := s.results[full]; ok {
+			s.hits++
+			s.mu.Unlock()
+			return r
+		}
+		if ch, ok := s.runInflight[full]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.runInflight[full] = ch
+		s.mu.Unlock()
+
+		var r stats.Run
+		func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.runInflight, full)
+				s.mu.Unlock()
+				close(ch)
+			}()
+			r = compute()
+			s.mu.Lock()
+			s.results[full] = r
+			s.sims++
+			s.mu.Unlock()
+		}()
+		return r
+	}
+}
+
+// storeResult commits an externally computed run into the memo under the
+// current fingerprint (used by drivers whose simulations need more than
+// the Run snapshot, e.g. RegressionWarmup's history inspection).
+func (s *Suite) storeResult(key string, m stats.Run) {
+	full := key + s.fingerprint()
+	s.mu.Lock()
+	s.results[full] = m
+	s.sims++
+	s.mu.Unlock()
+}
+
+// Simulations reports how many simulations this suite has executed
+// (memo misses; excludes derived sub-suites).
+func (s *Suite) Simulations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sims
+}
+
+// CacheHits reports how many results were served from the memo
+// (excludes derived sub-suites).
+func (s *Suite) CacheHits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Counters reports simulations executed and memo hits, aggregated over
+// this suite and every derived sub-suite.
+func (s *Suite) Counters() (sims, hits int64) {
+	s.mu.Lock()
+	sims, hits = s.sims, s.hits
+	subs := make([]*Suite, 0, len(s.subOrder))
+	for _, k := range s.subOrder {
+		subs = append(subs, s.subs[k])
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		a, b := sub.Counters()
+		sims += a
+		hits += b
+	}
+	return sims, hits
+}
+
+// derived returns the sub-suite registered under key, creating it with
+// mk on first use. Sensitivity figures (11, 12, 13) derive alternate
+// scales from a parent suite; registering them here lets the planner and
+// the renderer agree on one shared memo per derived scale. The
+// sub-suite's Seed and GPU follow the parent's.
+func (s *Suite) derived(key string, mk func() *Suite) *Suite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[key]
+	if !ok {
+		sub = mk()
+		sub.label = s.label + "/" + key
+		s.subs[key] = sub
+		s.subOrder = append(s.subOrder, key)
+	}
+	// Write only on change: steady-state parallel phases never write, so
+	// sub-suite reads inside running jobs race with nothing.
+	if sub.Seed != s.Seed {
+		sub.Seed = s.Seed
+	}
+	if sub.GPU != s.GPU {
+		sub.GPU = s.GPU
+	}
+	return sub
 }
 
 // config builds the runtime configuration for one policy at this scale.
@@ -77,53 +248,51 @@ func (s *Suite) config(p core.PolicyKind) core.Config {
 // Run simulates the workload under a GMT policy (or BaM), returning the
 // run metrics with WallTime filled in. Results are memoized.
 func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
-	key := w.Name() + "/" + p.String()
-	if r, ok := s.results[key]; ok {
-		return r
-	}
-	eng := sim.NewEngine()
-	rt := core.NewRuntime(eng, s.config(p))
-	g := gpu.New(eng, s.GPU, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
-	g.Launch()
-	eng.Run()
-	if !g.Done() {
-		panic(fmt.Sprintf("exp: %s under %v did not finish", w.Name(), p))
-	}
-	m := rt.Snapshot()
-	m.App = w.Name()
-	m.WallTime = eng.Now()
-	m.WarpComputeNS = g.ComputeTime()
-	m.WarpStallNS = g.StallTime()
-	s.results[key] = m
-	return m
+	cfg := s.config(p)
+	gcfg := s.GPU
+	return s.memoRun(w.Name()+"/"+p.String(), func() stats.Run {
+		eng := sim.NewEngine()
+		rt := core.NewRuntime(eng, cfg)
+		g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
+		g.Launch()
+		eng.Run()
+		if !g.Done() {
+			panic(fmt.Sprintf("exp: %s under %v did not finish", w.Name(), p))
+		}
+		m := rt.Snapshot()
+		m.App = w.Name()
+		m.WallTime = eng.Now()
+		m.WarpComputeNS = g.ComputeTime()
+		m.WarpStallNS = g.StallTime()
+		return m
+	})
 }
 
 // RunHMM simulates the workload under the CPU-orchestrated baseline.
 // forcedHitRate < 0 runs real HMM; otherwise the §3.6 optimistic
 // variant.
 func (s *Suite) RunHMM(w workload.Workload, forcedHitRate float64) stats.Run {
-	key := fmt.Sprintf("%s/HMM/%.3f", w.Name(), forcedHitRate)
-	if r, ok := s.results[key]; ok {
-		return r
-	}
 	cfg := baseline.DefaultHMMConfig()
 	cfg.Tier1Pages = s.Scale.Tier1Pages
 	cfg.PageCachePages = s.Scale.Tier2Pages
 	cfg.ForcedHitRate = forcedHitRate
 	cfg.Seed = s.Seed
-	eng := sim.NewEngine()
-	h := baseline.NewHMM(eng, cfg)
-	g := gpu.New(eng, s.GPU, &gpu.SliceStream{Trace: s.Trace(w)}, h)
-	g.Launch()
-	eng.Run()
-	if !g.Done() {
-		panic(fmt.Sprintf("exp: %s under HMM did not finish", w.Name()))
-	}
-	m := h.Snapshot()
-	m.App = w.Name()
-	m.WallTime = eng.Now()
-	s.results[key] = m
-	return m
+	gcfg := s.GPU
+	key := fmt.Sprintf("%s/HMM/%.3f", w.Name(), forcedHitRate)
+	return s.memoRun(key, func() stats.Run {
+		eng := sim.NewEngine()
+		h := baseline.NewHMM(eng, cfg)
+		g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: s.Trace(w)}, h)
+		g.Launch()
+		eng.Run()
+		if !g.Done() {
+			panic(fmt.Sprintf("exp: %s under HMM did not finish", w.Name()))
+		}
+		m := h.Snapshot()
+		m.App = w.Name()
+		m.WallTime = eng.Now()
+		return m
+	})
 }
 
 // Speedup reports base/t for the workload under policy p vs BaM.

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// TestSuiteSeedInvalidation is the stale-memoization regression: memo
+// keys used to be (app, policy) only, so mutating Suite.Seed between
+// runs returned results computed under the old seed.
+func TestSuiteSeedInvalidation(t *testing.T) {
+	s := NewSuite(testScale())
+	w := s.Apps()[1] // Pathfinder: cheap
+	first := s.Run(w, core.PolicyRandom)
+	if got := s.Simulations(); got != 1 {
+		t.Fatalf("simulations after first run = %d, want 1", got)
+	}
+	s.Seed = 99
+	s.Run(w, core.PolicyRandom)
+	if got := s.Simulations(); got != 2 {
+		t.Fatalf("changing Seed did not re-simulate: %d simulations, want 2", got)
+	}
+	// Restoring the seed must find the original memoized result again,
+	// bit for bit, without another simulation.
+	s.Seed = 1
+	third := s.Run(w, core.PolicyRandom)
+	if got := s.Simulations(); got != 2 {
+		t.Fatalf("restored Seed re-simulated: %d simulations, want 2", got)
+	}
+	if third != first {
+		t.Fatal("restored Seed returned a different result than the original run")
+	}
+}
+
+// TestSuiteGPUInvalidation: same regression for the GPU configuration.
+func TestSuiteGPUInvalidation(t *testing.T) {
+	s := NewSuite(testScale())
+	w := s.Apps()[1]
+	first := s.Run(w, core.PolicyBaM)
+	s.GPU.Warps /= 2
+	second := s.Run(w, core.PolicyBaM)
+	if got := s.Simulations(); got != 2 {
+		t.Fatalf("changing GPU config did not re-simulate: %d simulations, want 2", got)
+	}
+	if first.WallTime == second.WallTime {
+		t.Fatal("halving the warp count left the wall time unchanged")
+	}
+}
+
+// TestSuiteHMMSeedInvalidation covers the RunHMM memo path.
+func TestSuiteHMMSeedInvalidation(t *testing.T) {
+	s := NewSuite(testScale())
+	w := s.Apps()[1]
+	s.RunHMM(w, -1)
+	s.Seed = 7
+	s.RunHMM(w, -1)
+	if got := s.Simulations(); got != 2 {
+		t.Fatalf("changing Seed did not re-simulate HMM: %d simulations, want 2", got)
+	}
+}
+
+func TestSuiteCacheHitCounter(t *testing.T) {
+	s := NewSuite(testScale())
+	w := s.Apps()[1]
+	s.Run(w, core.PolicyBaM)
+	s.Run(w, core.PolicyBaM)
+	s.Run(w, core.PolicyBaM)
+	if sims, hits := s.Counters(); sims != 1 || hits != 2 {
+		t.Fatalf("sims=%d hits=%d, want 1 and 2", sims, hits)
+	}
+}
+
+// TestPlanDedup: overlapping experiments must not schedule the same
+// simulation twice.
+func TestPlanDedup(t *testing.T) {
+	s := NewSuite(testScale())
+	phases := Plan(s, []string{"fig8", "fig10", "util", "fig9"})
+	seen := map[string]bool{}
+	traces, sims := 0, 0
+	for _, ph := range phases {
+		for _, j := range ph.Jobs {
+			if seen[j.Key] {
+				t.Fatalf("duplicate job %s", j.Key)
+			}
+			seen[j.Key] = true
+			switch ph.Name {
+			case "traces":
+				traces++
+			case "simulate":
+				sims++
+			}
+		}
+	}
+	// 9 traces; 9 apps x (BaM + 3 policies), with fig9's Reuse runs and
+	// fig10/util's sweeps all deduplicated into the same 36 jobs.
+	if traces != 9 || sims != 36 {
+		t.Fatalf("planned traces=%d sims=%d, want 9 and 36", traces, sims)
+	}
+}
+
+// TestPlanGraphTraceFirst: the first trace job must be a graph app, so
+// the expensive shared Kronecker/CSR build starts before anything else.
+func TestPlanGraphTraceFirst(t *testing.T) {
+	s := NewSuite(testScale())
+	phases := Plan(s, []string{"table2"})
+	if len(phases[0].Jobs) == 0 {
+		t.Fatal("no trace jobs planned")
+	}
+	first := phases[0].Jobs[0].Key
+	if !strings.Contains(first, "|trace|") || !isGraphApp(first[strings.LastIndex(first, "|")+1:]) {
+		t.Fatalf("first trace job %q is not a graph app", first)
+	}
+}
+
+// TestPrewarmCoversRendering is the planner-drift gate: after a prewarm
+// of every suite-backed experiment, rendering those experiments must be
+// served entirely from the memo — zero additional simulations. If a
+// driver grows a new run that the planner doesn't know about, this
+// fails.
+func TestPrewarmCoversRendering(t *testing.T) {
+	s := NewSuite(workload.Scale{Tier1Pages: 128, Tier2Pages: 512, Oversubscription: 2})
+	// warmup is excluded: its pipelined-regression runs need runtime
+	// history the memo doesn't carry, so they always run at render time.
+	exps := []string{"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "oracle", "ext", "ssd", "predictors", "util"}
+	rep := Prewarm(s, exps, 3, nil)
+	if rep.JobsPlanned == 0 || rep.Sims == 0 {
+		t.Fatalf("prewarm did nothing: %+v", rep)
+	}
+	sims0, _ := s.Counters()
+	Table1(s)
+	Table2(s)
+	Figure4(s)
+	Figure7(s)
+	Figure8(s)
+	Figure9(s)
+	Figure10(s)
+	Figure11(s)
+	Figure12(s)
+	Figure13(s)
+	Figure14(s)
+	OracleGap(s)
+	Extensions(s)
+	SSDSensitivity(s)
+	SSDCountSweep(s)
+	PredictorAblation(s)
+	Utilization(s)
+	sims1, _ := s.Counters()
+	if sims1 != sims0 {
+		t.Fatalf("rendering ran %d simulations the planner missed", sims1-sims0)
+	}
+}
+
+// TestRunJobsPanicPropagates: a failing simulation must surface the
+// same way it would sequentially.
+func TestRunJobsPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the job's panic", r)
+		}
+	}()
+	zero := func() int64 { return 0 }
+	runJobs([]Job{
+		{Key: "ok", Run: func() {}},
+		{Key: "bad", Run: func() { panic("boom") }},
+	}, 2, zero)
+	t.Fatal("runJobs returned despite a panicking job")
+}

@@ -28,7 +28,7 @@ func TestSVGBuilders(t *testing.T) {
 		t.Fatalf("fig9 svg labels = %d", len(f.Labels))
 	}
 
-	byRatio, _ := Figure12(testScale())
+	byRatio, _ := Figure12(shared)
 	if f := Figure12SVG(byRatio); len(f.Series) != 3 || len(f.Labels) != 9 {
 		t.Fatalf("fig12 svg: series=%d labels=%d", len(f.Series), len(f.Labels))
 	}

@@ -48,6 +48,10 @@ func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	// Zero the vacated slot: the backing array outlives the pop, and a
+	// stale copy would keep the event's closure — and everything it
+	// captures — reachable for the rest of the run.
+	old[n-1] = event{}
 	*h = old[:n-1]
 	return e
 }

@@ -345,3 +345,27 @@ func TestPipeMinimumOccupancy(t *testing.T) {
 		t.Fatalf("TransferTime(1) = %d, want clamped to 1ns", got)
 	}
 }
+
+// TestPopReleasesDispatchedEvents is the closure-retention regression:
+// heap.Pop moves the root into the slice's final slot before eventHeap.Pop
+// shrinks it, and the pre-fix code left that copy — closure and all — in
+// the backing array for the rest of the run. Every vacated slot must be
+// zeroed so dispatched events become collectable.
+func TestPopReleasesDispatchedEvents(t *testing.T) {
+	e := NewEngine()
+	const n = 16
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(Time(i), func() { _ = i })
+	}
+	backing := e.events[:cap(e.events)]
+	e.Run()
+	if len(e.events) != 0 {
+		t.Fatalf("events remain after Run: %d", len(e.events))
+	}
+	for i := range backing {
+		if backing[i].fn != nil {
+			t.Fatalf("slot %d still holds a dispatched event's closure", i)
+		}
+	}
+}

@@ -1,6 +1,12 @@
 package sim
 
-import "github.com/gmtsim/gmt/internal/invariant"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/gmtsim/gmt/internal/invariant"
+)
 
 // Server is a capacity-limited resource with a FIFO wait queue: at most
 // Capacity holders at a time. It models things like NVMe controller
@@ -107,13 +113,31 @@ func NewPipe(eng *Engine, bytesPerSecond int64, latency Time) *Pipe {
 	return &Pipe{eng: eng, bytesPerS: bytesPerSecond, latency: latency}
 }
 
+// mulDiv computes n*mul/div in 128-bit intermediate precision, so
+// transfer-time arithmetic cannot overflow int64 for any representable
+// byte count (n*Second overflows at ≈9.2 GB otherwise, silently
+// collapsing large transfers to 1 ns of occupancy). It panics if the
+// final quotient itself exceeds int64 — a virtual time beyond ~292
+// years always indicates a modeling bug, never a real transfer.
+func mulDiv(n, mul, div int64) int64 {
+	hi, lo := bits.Mul64(uint64(n), uint64(mul))
+	if hi >= uint64(div) {
+		panic(fmt.Sprintf("sim: %d*%d/%d overflows int64 virtual time", n, mul, div))
+	}
+	q, _ := bits.Div64(hi, lo, uint64(div))
+	if q > math.MaxInt64 {
+		panic(fmt.Sprintf("sim: %d*%d/%d overflows int64 virtual time", n, mul, div))
+	}
+	return int64(q)
+}
+
 // TransferTime reports the pipe occupancy for a transfer of n bytes,
 // excluding latency and queueing.
 func (p *Pipe) TransferTime(n int64) Time {
 	if n <= 0 {
 		return 0
 	}
-	t := n * Second / p.bytesPerS
+	t := mulDiv(n, Second, p.bytesPerS)
 	if t < 1 {
 		t = 1
 	}
@@ -133,7 +157,7 @@ func (p *Pipe) Transfer(n int64, done func()) {
 func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
 	occ := p.TransferTime(n)
 	if maxBps > 0 && maxBps < p.bytesPerS {
-		occ = n * Second / maxBps
+		occ = mulDiv(n, Second, maxBps)
 		if occ < 1 {
 			occ = 1
 		}
@@ -142,6 +166,9 @@ func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
 }
 
 func (p *Pipe) transfer(n int64, occ Time, done func()) {
+	if occ < 0 {
+		panic(fmt.Sprintf("sim: negative pipe occupancy %d ns for %d bytes", occ, n))
+	}
 	invariant.Assert(occ >= p.TransferTime(n),
 		"sim: pipe granted %d bytes in %d ns, faster than capacity %d B/s allows", n, occ, p.bytesPerS)
 	start := p.freeAt

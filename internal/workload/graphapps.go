@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/gmtsim/gmt/internal/gpu"
 	"github.com/gmtsim/gmt/internal/graph"
@@ -24,52 +25,80 @@ const gatherStride = 96
 
 // GraphSet is a generated Kronecker graph laid out in page space:
 // [offsets][values][edges]. The three graph workloads share one set.
+//
+// Generation is lazy: the Kronecker edge list and CSR are built on
+// first use (any Pages/Trace/CSR call), and concurrent first users
+// block until the single build completes. This lets a parallel
+// experiment harness schedule the build — the most expensive
+// non-simulation step — as one job overlapping other trace generation
+// instead of paying it inside suite construction.
 type GraphSet struct {
 	Scale Scale
-	CSR   *graph.CSR
+	seed  int64
 
-	OffsetPages int64
-	ValuePages  int64
-	EdgePages   int64
+	once        sync.Once
+	csr         *graph.CSR
+	offsetPages int64
+	valuePages  int64
+	edgePages   int64
 }
 
-// NewGraphSet generates a GAP-Kron style graph sized so vertex arrays
-// take ≈20% and the edge list ≈80% of the working set.
+// NewGraphSet prepares a GAP-Kron style graph sized so vertex arrays
+// take ≈20% and the edge list ≈80% of the working set. The graph itself
+// is generated on first use.
 func NewGraphSet(s Scale, seed int64) *GraphSet {
-	w := int64(s.WorkingSetPages())
-	targetV := w / 10 * elemsPerPage
-	scale := 1
-	for int64(1)<<(scale+1) <= targetV {
-		scale++
-	}
-	v := int64(1) << scale
-	targetE := w * 8 / 10 * elemsPerPage
-	ef := int(targetE / v)
-	if ef < 1 {
-		ef = 1
-	}
-	edges := graph.GenerateKron(scale, ef, seed)
-	csr := graph.BuildCSR(int32(v), edges)
-	return &GraphSet{
-		Scale:       s,
-		CSR:         csr,
-		OffsetPages: (v + 1 + elemsPerPage - 1) / elemsPerPage,
-		ValuePages:  (v + elemsPerPage - 1) / elemsPerPage,
-		EdgePages:   (int64(csr.M()) + elemsPerPage - 1) / elemsPerPage,
-	}
+	return &GraphSet{Scale: s, seed: seed}
 }
+
+// build generates the graph exactly once; safe for concurrent callers.
+func (g *GraphSet) build() {
+	g.once.Do(func() {
+		w := int64(g.Scale.WorkingSetPages())
+		targetV := w / 10 * elemsPerPage
+		scale := 1
+		for int64(1)<<(scale+1) <= targetV {
+			scale++
+		}
+		v := int64(1) << scale
+		targetE := w * 8 / 10 * elemsPerPage
+		ef := int(targetE / v)
+		if ef < 1 {
+			ef = 1
+		}
+		edges := graph.GenerateKron(scale, ef, g.seed)
+		g.csr = graph.BuildCSR(int32(v), edges)
+		g.offsetPages = (v + 1 + elemsPerPage - 1) / elemsPerPage
+		g.valuePages = (v + elemsPerPage - 1) / elemsPerPage
+		g.edgePages = (int64(g.csr.M()) + elemsPerPage - 1) / elemsPerPage
+	})
+}
+
+// CSR reports the generated graph, building it on first use.
+func (g *GraphSet) CSR() *graph.CSR { g.build(); return g.csr }
+
+// OffsetPages reports the page count of the CSR offset array.
+func (g *GraphSet) OffsetPages() int64 { g.build(); return g.offsetPages }
+
+// ValuePages reports the page count of the per-vertex value array.
+func (g *GraphSet) ValuePages() int64 { g.build(); return g.valuePages }
+
+// EdgePages reports the page count of the edge list.
+func (g *GraphSet) EdgePages() int64 { g.build(); return g.edgePages }
 
 // Pages reports the total page footprint.
-func (g *GraphSet) Pages() int64 { return g.OffsetPages + g.ValuePages + g.EdgePages }
+func (g *GraphSet) Pages() int64 {
+	g.build()
+	return g.offsetPages + g.valuePages + g.edgePages
+}
 
 func (g *GraphSet) offsetPage(v int32) int64 { return int64(v) / elemsPerPage }
 
 func (g *GraphSet) valuePage(v int32) int64 {
-	return g.OffsetPages + int64(v)/elemsPerPage
+	return g.offsetPages + int64(v)/elemsPerPage
 }
 
 func (g *GraphSet) edgePage(e int64) int64 {
-	return g.OffsetPages + g.ValuePages + e/elemsPerPage
+	return g.offsetPages + g.valuePages + e/elemsPerPage
 }
 
 // coalescer deduplicates consecutive same-page accesses within one
@@ -113,7 +142,8 @@ func (w *PageRankWorkload) Pages() int64 { return w.gs.Pages() }
 // Trace implements Workload.
 func (w *PageRankWorkload) Trace() []gpu.Access {
 	gs := w.gs
-	c := gs.CSR
+	gs.build()
+	c := gs.csr
 	b := &traceBuilder{}
 	for it := 0; it < w.Iters; it++ {
 		if w.Barriers && it > 0 {
@@ -162,7 +192,8 @@ func (w *BFSWorkload) Pages() int64 { return w.gs.Pages() }
 // Trace implements Workload.
 func (w *BFSWorkload) Trace() []gpu.Access {
 	gs := w.gs
-	c := gs.CSR
+	gs.build()
+	c := gs.csr
 	b := &traceBuilder{}
 	level := make([]int32, c.N)
 	for i := range level {
@@ -227,7 +258,8 @@ func (w *SSSPWorkload) Pages() int64 { return w.gs.Pages() }
 // Trace implements Workload.
 func (w *SSSPWorkload) Trace() []gpu.Access {
 	gs := w.gs
-	c := gs.CSR
+	gs.build()
+	c := gs.csr
 	b := &traceBuilder{}
 	const inf = int64(1) << 62
 	dist := make([]int64, c.N)

@@ -54,7 +54,15 @@ func ReadTrace(r io.Reader) ([]gpu.Access, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
-			if text == traceHeader {
+			// A "# gmt-trace v*" line is a version header, not a free-form
+			// comment: rejecting unknown versions here beats failing later
+			// with a misleading "missing header" at the first data line.
+			if rest := strings.TrimSpace(text[1:]); strings.HasPrefix(rest, "gmt-trace") {
+				version := strings.TrimSpace(strings.TrimPrefix(rest, "gmt-trace"))
+				if version != "v1" {
+					return nil, fmt.Errorf("workload: line %d: unsupported trace version %q (this reader understands %q)",
+						line, version, traceHeader)
+				}
 				sawHeader = true
 			}
 			continue
@@ -81,7 +89,9 @@ func ReadTrace(r io.Reader) ([]gpu.Access, error) {
 		trace = append(trace, gpu.Access{Page: tier.PageID(page), Write: write})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Attach line context: bare scanner errors (bufio.ErrTooLong
+		// especially) are useless against multi-gigabyte trace files.
+		return nil, fmt.Errorf("workload: line %d: reading trace: %w", line+1, err)
 	}
 	if !sawHeader {
 		return nil, fmt.Errorf("workload: missing %q header", traceHeader)

@@ -14,6 +14,11 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add("R 1\n")
 	f.Add("# gmt-trace v1\nX yz\n")
 	f.Add("")
+	f.Add("# gmt-trace v2\nR 1\n")
+	f.Add("#gmt-trace v1\nW 3\n")
+	f.Add("# gmt-trace\n")
+	f.Add("# gmt-trace v1\n# gmt-trace v1\nR 1\n")
+	f.Add("# gmt-trace v1\nR " + strings.Repeat("1", 4096) + "\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		trace, err := ReadTrace(strings.NewReader(in))
 		if err != nil {

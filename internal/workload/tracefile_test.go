@@ -64,6 +64,49 @@ func TestReadTraceErrors(t *testing.T) {
 	}
 }
 
+// TestReadTraceUnsupportedVersion is the misleading-error regression:
+// a "# gmt-trace v2" header used to be swallowed as a comment, and the
+// parser then failed at the first data line with "missing header".
+func TestReadTraceUnsupportedVersion(t *testing.T) {
+	for _, in := range []string{
+		"# gmt-trace v2\nR 1\n",
+		"#gmt-trace v3\n",
+		"# gmt-trace\nR 1\n",
+	} {
+		_, err := ReadTrace(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("%q: no error", in)
+		}
+		if !strings.Contains(err.Error(), "unsupported trace version") {
+			t.Fatalf("%q: error %q does not name the unsupported version", in, err)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("%q: error %q lacks line context", in, err)
+		}
+	}
+	// The v1 header must keep being accepted, space or not.
+	if _, err := ReadTrace(strings.NewReader("#gmt-trace v1\nR 1\n")); err != nil {
+		t.Fatalf("compact v1 header rejected: %v", err)
+	}
+}
+
+// TestReadTraceScannerErrorContext is the bare-bufio-error regression: a
+// line beyond the scanner's 1 MiB buffer used to surface as a naked
+// "token too long" with no position.
+func TestReadTraceScannerErrorContext(t *testing.T) {
+	in := "# gmt-trace v1\nR 1\nR " + strings.Repeat("9", 2<<20) + "\n"
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q lacks the failing line number", err)
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("error %q hides the underlying scanner error", err)
+	}
+}
+
 func TestReadTraceTolerance(t *testing.T) {
 	in := "# gmt-trace v1\n\n# comment\n  r 7  \nw 9\n"
 	got, err := ReadTrace(strings.NewReader(in))

@@ -211,16 +211,16 @@ func TestVTDCorrelationLinear(t *testing.T) {
 
 func TestGraphSetLayout(t *testing.T) {
 	gs := NewGraphSet(testScale(), 42)
-	if gs.OffsetPages <= 0 || gs.ValuePages <= 0 || gs.EdgePages <= 0 {
+	if gs.OffsetPages() <= 0 || gs.ValuePages() <= 0 || gs.EdgePages() <= 0 {
 		t.Fatalf("degenerate layout: %+v", gs)
 	}
 	// Edge list should dominate (≈80% of footprint).
-	frac := float64(gs.EdgePages) / float64(gs.Pages())
+	frac := float64(gs.EdgePages()) / float64(gs.Pages())
 	if frac < 0.6 || frac > 0.95 {
 		t.Fatalf("edge fraction %.2f, want ≈0.8", frac)
 	}
 	// Regions must not overlap: offsets < values < edges in page space.
-	if gs.valuePage(0) != gs.OffsetPages || gs.edgePage(0) != gs.OffsetPages+gs.ValuePages {
+	if gs.valuePage(0) != gs.OffsetPages() || gs.edgePage(0) != gs.OffsetPages()+gs.ValuePages() {
 		t.Fatal("page regions overlap")
 	}
 }
