@@ -18,7 +18,10 @@ import (
 	"github.com/gmtsim/gmt/internal/core"
 	"github.com/gmtsim/gmt/internal/exp"
 	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/invariant"
+	"github.com/gmtsim/gmt/internal/raceflag"
 	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
 	"github.com/gmtsim/gmt/internal/workload"
 	"github.com/gmtsim/gmt/internal/xfer"
 )
@@ -60,6 +63,80 @@ func BenchmarkParallelPrewarm(b *testing.B) {
 		b.ReportMetric(float64(rep.Sims), "prewarm_sims")
 		b.ReportMetric(float64(rep.JobsPlanned), "prewarm_jobs")
 	}
+}
+
+// BenchmarkSingleRun measures one complete Figure 8-scale simulation —
+// workload generation excluded, everything else (engine, runtime, GPU,
+// devices) included. allocs/op here is the whole-run allocation budget
+// the hot-path work keeps bounded: with pooled events and dense
+// directories it scales with the footprint (arena chunks, device
+// buffers), not with the access count.
+func BenchmarkSingleRun(b *testing.B) {
+	scale := benchScale()
+	trace := workload.NewMultiVectorAdd(scale).Trace()
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyReuse
+	cfg.Tier1Pages = scale.Tier1Pages
+	cfg.Tier2Pages = scale.Tier2Pages
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCore(cfg, trace)
+	}
+}
+
+// BenchmarkPerAccessHit measures the full steady-state per-access path
+// on a Tier-1 hit: directory lookup, clock touch, and completion.
+// Steady state is 0 allocs/op.
+func BenchmarkPerAccessHit(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyBaM
+	cfg.Tier1Pages = 256
+	cfg.FootprintPages = 128
+	rt := core.NewRuntime(eng, cfg)
+	done := func() {}
+	for p := 0; p < 128; p++ {
+		rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
+	}
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Access(gpu.Access{Page: tier.PageID(i % 128)}, done)
+	}
+	b.StopTimer()
+	eng.Run()
+}
+
+// TestPerAccessAllocGate is the CI gate for the tentpole's acceptance
+// bar: the steady-state per-access path — from Runtime.Access through
+// tier bookkeeping to the warp's completion callback — performs zero
+// allocations once all pages are resident.
+func TestPerAccessAllocGate(t *testing.T) {
+	if raceflag.Enabled || invariant.Enabled {
+		t.Skip("allocation gates run on the default build only")
+	}
+	eng := sim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyBaM
+	cfg.Tier1Pages = 256
+	cfg.FootprintPages = 128
+	rt := core.NewRuntime(eng, cfg)
+	done := func() {}
+	for p := 0; p < 128; p++ {
+		rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
+	}
+	eng.Run()
+	i := 0
+	n := testing.AllocsPerRun(500, func() {
+		rt.Access(gpu.Access{Page: tier.PageID(i % 128), Write: i%7 == 0}, done)
+		i++
+	})
+	if n != 0 {
+		t.Errorf("steady-state per-access path = %.1f allocs/op, want 0", n)
+	}
+	eng.Run()
 }
 
 // runCore executes a trace against a core runtime configuration and

@@ -24,8 +24,17 @@
 //	             byte-identical for any N: workers only fill the result
 //	             memo, rendering then replays the same sequential reads.
 //	-benchjson P write a machine-readable benchmark report (schema
-//	             gmt-bench-suite/v1: per-experiment wall clock, prewarm
-//	             job/hit counts, estimated speedup vs sequential) to P
+//	             gmt-bench-suite/v1: per-experiment wall clock and
+//	             allocation deltas, prewarm job/hit counts, estimated
+//	             speedup vs sequential) to P
+//	-cpuprofile P  write a CPU profile (pprof) to P
+//	-memprofile P  write an allocation profile (pprof) to P
+//	-trace P       write a runtime execution trace to P
+//
+// Profiles are finalized when the run completes successfully; the
+// simulator packages themselves are banned from runtime/pprof (the
+// norealtime discipline), so this command is the profiling entry point
+// for the whole tree.
 package main
 
 import (
@@ -35,6 +44,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"github.com/gmtsim/gmt/internal/exp"
@@ -63,6 +74,29 @@ type benchPrewarm struct {
 	BusyMS    float64      `json:"busy_ms"`
 	WallMS    float64      `json:"wall_ms"`
 	Phases    []benchPhase `json:"phases"`
+	benchMem
+}
+
+// benchMem is the allocation accounting attached to each phase of the
+// v1 report: bytes and objects allocated during the phase (deltas of
+// runtime.MemStats.TotalAlloc/Mallocs) and live heap at its end.
+type benchMem struct {
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	Mallocs      uint64 `json:"mallocs"`
+	HeapAllocEnd uint64 `json:"heap_alloc_end_bytes"`
+}
+
+// measureMem runs fn and reports its allocation delta and ending heap.
+func measureMem(fn func()) benchMem {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return benchMem{
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		Mallocs:      after.Mallocs - before.Mallocs,
+		HeapAllocEnd: after.HeapAlloc,
+	}
 }
 
 type benchPhase struct {
@@ -74,6 +108,7 @@ type benchPhase struct {
 type benchExperiment struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
+	benchMem
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -89,7 +124,31 @@ func main() {
 		"worker goroutines prewarming simulations (1 = sequential)")
 	benchjson := flag.String("benchjson", "",
 		"write a gmt-bench-suite/v1 JSON report to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = trace.Start(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	writeSVG := func(name string, f *plot.Figure) {
 		if *svgDir == "" {
@@ -246,8 +305,12 @@ func main() {
 	}
 
 	var prewarm *exp.Report
+	var prewarmMem benchMem
 	if *parallel > 1 && needsSuite {
-		rep := exp.Prewarm(getSuite(), experiments, *parallel, clock)
+		var rep exp.Report
+		prewarmMem = measureMem(func() {
+			rep = exp.Prewarm(getSuite(), experiments, *parallel, clock)
+		})
 		prewarm = &rep
 		if !*jsonOut {
 			fmt.Printf("prewarmed %d jobs on %d workers: %d simulations, %d memo hits [%v]\n\n",
@@ -261,8 +324,12 @@ func main() {
 	var timings []benchExperiment
 	execute := func(name string, fn func() (interface{}, string)) {
 		start := time.Now()
-		rows, text := fn()
-		timings = append(timings, benchExperiment{Name: name, WallMS: ms(time.Since(start))})
+		var rows interface{}
+		var text string
+		mem := measureMem(func() { rows, text = fn() })
+		timings = append(timings, benchExperiment{
+			Name: name, WallMS: ms(time.Since(start)), benchMem: mem,
+		})
 		if *jsonOut {
 			if err := enc.Encode(map[string]interface{}{
 				"experiment": name,
@@ -301,6 +368,7 @@ func main() {
 				CacheHits: prewarm.CacheHits,
 				BusyMS:    float64(prewarm.BusyNS) / 1e6,
 				WallMS:    float64(prewarm.WallNS) / 1e6,
+				benchMem:  prewarmMem,
 			}
 			for _, ph := range prewarm.Phases {
 				bp.Phases = append(bp.Phases, benchPhase{
@@ -325,6 +393,27 @@ func main() {
 		}
 		if !*jsonOut {
 			fmt.Printf("wrote %s\n", *benchjson)
+		}
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		trace.Stop()
+	}
+	if *memprofile != "" {
+		runtime.GC() // settle the heap so the profile shows live objects accurately
+		f, err := os.Create(*memprofile)
+		if err == nil {
+			err = pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

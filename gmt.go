@@ -248,8 +248,12 @@ func Run(cfg Config, w Workload) Result {
 // RunTrace simulates a custom access trace under cfg.
 func RunTrace(cfg Config, name string, trace []Access) Result {
 	internalTrace := make([]gpu.Access, len(trace))
+	footprint := 0
 	for i, a := range trace {
 		internalTrace[i] = gpu.Access{Page: tier.PageID(a.Page), Write: a.Write}
+		if int(a.Page)+1 > footprint {
+			footprint = int(a.Page) + 1
+		}
 	}
 	gcfg := gpu.DefaultConfig()
 	if cfg.Warps > 0 {
@@ -278,6 +282,9 @@ func RunTrace(cfg Config, name string, trace []Access) Result {
 		c.AsyncEviction = cfg.AsyncEviction
 		c.PrefetchDegree = cfg.PrefetchDegree
 		c.HistorySample = cfg.HistorySample
+		// Presize the runtime's dense page directory to the trace's
+		// page-ID bound so the per-access path never grows it.
+		c.FootprintPages = footprint
 		if cfg.SampleTarget > 0 {
 			c.SampleTarget = cfg.SampleTarget
 		}

@@ -15,7 +15,7 @@ import "github.com/gmtsim/gmt/internal/tier"
 //     incoming page returns sooner.
 //
 // Victim selection scans the residents; ties break on page ID so runs
-// stay deterministic regardless of map iteration order.
+// stay deterministic regardless of store iteration order.
 
 // oracleEvict selects and places a Tier-1 victim with future knowledge.
 func (rt *Runtime) oracleEvict(ready func()) {
@@ -53,7 +53,7 @@ func (rt *Runtime) furthest(store tier.Store) (tier.PageID, *pageState) {
 	var bestPS *pageState
 	var bestUse int64
 	store.Each(func(p tier.PageID) {
-		ps := rt.pages[p]
+		ps := rt.dir.get(p)
 		use := ps.nextUse
 		if use < 0 {
 			use = int64(1) << 62 // never used again

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// pageDirectory is the runtime's page-metadata table: a dense
+// PageID-indexed slice of *pageState. Page IDs are bounded by the
+// workload footprint (the dense-directory contract documented in
+// HACKING.md), so direct indexing replaces the former map without a
+// size penalty that matters — and without hashing on every access.
+//
+// States are allocated from a chunked arena rather than a value slice:
+// callers hold *pageState across simulated events (closures capture
+// them), so the backing storage must never move. Chunks are fixed-size
+// arrays appended to as the footprint grows; handed-out pointers stay
+// valid forever. A free list fronts the arena so any state a future
+// caller releases is recycled before the arena grows; the current
+// runtime never releases states (page metadata — predictor history,
+// dirty bits — must outlive residency), so in practice the arena only
+// grows toward the footprint and steady state allocates nothing.
+type pageDirectory struct {
+	dir    []*pageState
+	chunks [][]pageState
+	cursor int // fill position in the newest chunk
+	free   []*pageState
+}
+
+// pageChunkSize is the arena growth quantum (structs per chunk).
+const pageChunkSize = 1024
+
+// reserve presizes the directory index for an n-page footprint so the
+// per-access path never grows it.
+func (d *pageDirectory) reserve(n int) {
+	if n > len(d.dir) {
+		nv := make([]*pageState, n)
+		copy(nv, d.dir)
+		d.dir = nv
+	}
+}
+
+// lookup returns p's state, creating it (on the SSD, clean) on first
+// reference.
+func (d *pageDirectory) lookup(p tier.PageID) *pageState {
+	if p < 0 {
+		panic(fmt.Sprintf("core: negative page id %d", p))
+	}
+	if int64(p) >= int64(len(d.dir)) {
+		d.reserve(growSize(len(d.dir), int(p)+1))
+	}
+	if ps := d.dir[p]; ps != nil {
+		return ps
+	}
+	ps := d.alloc()
+	d.dir[p] = ps
+	return ps
+}
+
+// get returns p's existing state; it panics if p was never referenced
+// (every caller holds a page that has been through lookup).
+func (d *pageDirectory) get(p tier.PageID) *pageState {
+	if p < 0 || int64(p) >= int64(len(d.dir)) || d.dir[p] == nil {
+		panic(fmt.Sprintf("core: page %d has no directory entry", p))
+	}
+	return d.dir[p]
+}
+
+// alloc hands out a zeroed state: recycled from the free list when one
+// exists, otherwise carved from the arena. The zero pageState is a
+// clean SSD-resident page (locSSD == 0).
+func (d *pageDirectory) alloc() *pageState {
+	if k := len(d.free); k > 0 {
+		ps := d.free[k-1]
+		d.free = d.free[:k-1]
+		*ps = pageState{}
+		return ps
+	}
+	if len(d.chunks) == 0 || d.cursor == pageChunkSize {
+		d.chunks = append(d.chunks, make([]pageState, pageChunkSize))
+		d.cursor = 0
+	}
+	ps := &d.chunks[len(d.chunks)-1][d.cursor]
+	d.cursor++
+	return ps
+}
+
+// each calls fn for every referenced page in ascending page-ID order.
+func (d *pageDirectory) each(fn func(tier.PageID, *pageState)) {
+	for i, ps := range d.dir {
+		if ps != nil {
+			fn(tier.PageID(i), ps)
+		}
+	}
+}
+
+// growSize doubles have toward need (minimum 64) to amortize index
+// growth for workloads that never declared a footprint.
+func growSize(have, need int) int {
+	size := have
+	if size < 64 {
+		size = 64
+	}
+	for size < need {
+		size *= 2
+	}
+	return size
+}

@@ -187,6 +187,14 @@ type Config struct {
 	// the GPU will issue.
 	Future []tier.PageID
 
+	// FootprintPages, when positive, declares the workload's page-ID
+	// bound (max page ID + 1). The runtime presizes its dense page
+	// directory and the tier residency indices to it, so the
+	// steady-state per-access path performs zero allocations. Runs
+	// work without it — the directories grow by doubling — but pay
+	// occasional growth copies.
+	FootprintPages int
+
 	// Transfer calibrates Tier-1<->Tier-2 movement; SSD the drive;
 	// SSDCount stripes pages across that many identical drives (BaM's
 	// bandwidth-scaling configuration; the paper's testbed used 1);
@@ -289,7 +297,7 @@ type Runtime struct {
 	t1 *tier.Clock
 	t2 tier.Store // nil under PolicyBaM
 
-	pages map[tier.PageID]*pageState
+	dir pageDirectory
 	// reserved counts Tier-1 slots committed to in-flight fetches;
 	// slotWaiters holds fetches stalled because every slot is either
 	// occupied by another in-flight fetch or unpickable.
@@ -340,7 +348,6 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		ssd:      storage,
 		hostLink: pcie.NewLink(eng, cfg.HostLanes),
 		t1:       tier.NewClock(cfg.Tier1Pages),
-		pages:    make(map[tier.PageID]*pageState),
 		rng:      rng,
 		classifier: reuse.Classifier{
 			Tier1Pages: int64(cfg.Tier1Pages),
@@ -375,22 +382,51 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		}
 		rt.nextOcc = nextOccurrences(cfg.Future)
 	}
+	if cfg.FootprintPages > 0 {
+		rt.dir.reserve(cfg.FootprintPages)
+		rt.t1.Reserve(cfg.FootprintPages)
+		if rt.t2 != nil {
+			rt.t2.Reserve(cfg.FootprintPages)
+		}
+	}
 	rt.m.Policy = cfg.Policy.String()
 	return rt
 }
 
 // nextOccurrences computes, for each position, the next position of the
-// same page (-1 if none).
+// same page (-1 if none). The last-seen table is a slice keyed by page
+// ID (IDs are footprint-bounded); negative sentinel IDs — barrier
+// markers some callers leave in their traces — get a small mirror slice
+// keyed by ^id, keeping the whole computation map-free.
 func nextOccurrences(future []tier.PageID) []int64 {
-	next := make([]int64, len(future))
-	last := make(map[tier.PageID]int64, len(future)/4+1)
-	for i := len(future) - 1; i >= 0; i-- {
-		if n, ok := last[future[i]]; ok {
-			next[i] = n
-		} else {
-			next[i] = -1
+	var bound, negBound int64
+	for _, p := range future {
+		if p >= 0 {
+			if int64(p)+1 > bound {
+				bound = int64(p) + 1
+			}
+		} else if -int64(p) > negBound {
+			negBound = -int64(p)
 		}
-		last[future[i]] = int64(i)
+	}
+	next := make([]int64, len(future))
+	last := make([]int64, bound)
+	lastNeg := make([]int64, negBound)
+	for i := range last {
+		last[i] = -1
+	}
+	for i := range lastNeg {
+		lastNeg[i] = -1
+	}
+	for i := len(future) - 1; i >= 0; i-- {
+		var cell *int64
+		if p := future[i]; p >= 0 {
+			cell = &last[p]
+		} else {
+			cell = &lastNeg[-int64(p)-1]
+		}
+		next[i] = *cell
+		*cell = int64(i)
 	}
 	return next
 }
@@ -405,12 +441,7 @@ func (rt *Runtime) HostLink() *pcie.Link { return rt.hostLink }
 func (rt *Runtime) Mover() *xfer.Engine { return rt.mover }
 
 func (rt *Runtime) page(p tier.PageID) *pageState {
-	ps, ok := rt.pages[p]
-	if !ok {
-		ps = &pageState{loc: locSSD}
-		rt.pages[p] = ps
-	}
-	return ps
+	return rt.dir.lookup(p)
 }
 
 // Access implements gpu.MemoryManager: one coalesced page reference.
@@ -618,16 +649,24 @@ func (rt *Runtime) acquireSlot(start func()) {
 
 // install completes a fetch: the page enters Tier-1 and all waiters run.
 func (rt *Runtime) install(p tier.PageID) {
-	ps := rt.pages[p]
+	ps := rt.dir.get(p)
 	rt.reserved--
 	rt.t1.Insert(p)
 	ps.loc = locTier1
 	ps.dirty = ps.pendingDirty
 	ps.pendingDirty = false
+	// Detach the waiter list before running it (a waiter may re-miss and
+	// re-queue), zero the entries so dispatched closures are collectable,
+	// then hand the backing array back to the page for reuse — unless a
+	// waiter already started a new list.
 	waiters := ps.waiters
 	ps.waiters = nil
-	for _, w := range waiters {
+	for i, w := range waiters {
+		waiters[i] = nil
 		w()
+	}
+	if ps.waiters == nil && waiters != nil {
+		ps.waiters = waiters[:0]
 	}
 	if len(rt.slotWaiters) > 0 {
 		next := rt.slotWaiters[0]
@@ -651,7 +690,7 @@ func (rt *Runtime) evictTier1(ready func()) {
 		victim, class, trained = rt.chooseReuseVictim(victim)
 	}
 	rt.t1.Remove(victim)
-	ps := rt.pages[victim]
+	ps := rt.dir.get(victim)
 	ps.loc = locSSD // provisional; placement may move it to Tier-2
 	if rt.cfg.Policy == PolicyReuse {
 		ps.evictVTD = rt.vtd
@@ -711,7 +750,7 @@ func (rt *Runtime) chooseReuseVictim(cand tier.PageID) (tier.PageID, reuse.Class
 // predictClass consults the configured predictor for the page's next
 // class.
 func (rt *Runtime) predictClass(p tier.PageID) (reuse.Class, bool) {
-	ps := rt.pages[p]
+	ps := rt.dir.get(p)
 	switch rt.cfg.Predictor {
 	case PredictorStatic:
 		return reuse.Medium, true
@@ -786,7 +825,7 @@ func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.C
 // eligible, reporting whether a slot was freed.
 func (rt *Runtime) reclaimTier2(eligible func(*pageState) bool) bool {
 	v := rt.t2.Victim()
-	vps := rt.pages[v]
+	vps := rt.dir.get(v)
 	if !eligible(vps) {
 		return false
 	}
@@ -825,7 +864,7 @@ func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready
 		t2v := rt.t2.Victim()
 		rt.t2.Remove(t2v)
 		rt.m.Tier2Evictions++
-		rt.discard(t2v, rt.pages[t2v])
+		rt.discard(t2v, rt.dir.get(t2v))
 		// The replacement pass over host-resident metadata delays the
 		// warp before it can start the placement transfer.
 		overhead = rt.cfg.Tier2EvictOverhead
@@ -925,7 +964,7 @@ func (rt *Runtime) Tier2Resident() int {
 // residency counters disagree; tests call it after runs.
 func (rt *Runtime) CheckInvariants() {
 	t1n, t2n, inflight := 0, 0, 0
-	for p, ps := range rt.pages {
+	rt.dir.each(func(p tier.PageID, ps *pageState) {
 		switch ps.loc {
 		case locTier1:
 			t1n++
@@ -953,7 +992,7 @@ func (rt *Runtime) CheckInvariants() {
 				panic(fmt.Sprintf("core: page %d has stranded waiters", p))
 			}
 		}
-	}
+	})
 	if t1n != rt.t1.Len() {
 		panic(fmt.Sprintf("core: Tier-1 accounting mismatch: %d vs %d", t1n, rt.t1.Len()))
 	}

@@ -14,6 +14,9 @@ import (
 // RunConfig simulates a workload under an explicit runtime
 // configuration, memoized under key.
 func (s *Suite) RunConfig(key string, w workload.Workload, cfg core.Config) stats.Run {
+	if cfg.FootprintPages == 0 {
+		cfg.FootprintPages = int(w.Pages())
+	}
 	gcfg := s.GPU
 	return s.memoRun(w.Name()+"/"+key, func() stats.Run {
 		eng := sim.NewEngine()

@@ -249,6 +249,7 @@ func (s *Suite) config(p core.PolicyKind) core.Config {
 // run metrics with WallTime filled in. Results are memoized.
 func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
 	cfg := s.config(p)
+	cfg.FootprintPages = int(w.Pages())
 	gcfg := s.GPU
 	return s.memoRun(w.Name()+"/"+p.String(), func() stats.Run {
 		eng := sim.NewEngine()

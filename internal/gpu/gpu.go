@@ -94,13 +94,34 @@ type GPU struct {
 	active   int
 	finished bool
 
+	// warps is allocated once at Launch; warp pointers are stable and
+	// ride the engine's typed event path, so the issue/complete cycle
+	// of a resident access allocates nothing.
+	warps []warp
+
 	// Barrier state: once one warp consumes the barrier token from the
 	// shared stream, barPending parks every other warp as it completes
-	// its in-flight work, until all active warps have arrived.
+	// its in-flight work, until all active warps have arrived. parked
+	// records arrivals in order; release re-schedules them in that same
+	// order, preserving the stream-consumption sequence.
 	barPending bool
-	barWaiting int
+	parked     []*warp
 	barriers   int64
 }
+
+// warp is one resident warp's execution state. A warp has at most one
+// access in flight, so a single issue timestamp suffices; done is the
+// access-completion callback, allocated once at Launch rather than per
+// access.
+type warp struct {
+	g      *GPU
+	issued sim.Time
+	done   func()
+}
+
+// warpStepEvent is the typed event dispatched for every warp step; ctx
+// is the *warp.
+func warpStepEvent(ctx any, _ int64) { ctx.(*warp).step() }
 
 // New returns an unlaunched GPU kernel execution.
 func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
@@ -113,15 +134,21 @@ func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
 // Launch schedules all warps at the current virtual time. Run the engine
 // to completion afterwards; Done reports kernel completion.
 func (g *GPU) Launch() {
-	for w := 0; w < g.cfg.Warps; w++ {
+	g.warps = make([]warp, g.cfg.Warps)
+	g.parked = make([]*warp, 0, g.cfg.Warps)
+	for i := range g.warps {
+		w := &g.warps[i]
+		w.g = g
+		w.done = w.accessDone
 		g.active++
-		g.eng.After(0, g.warpStep)
+		g.eng.AfterCall(0, warpStepEvent, w, 0)
 	}
 }
 
-func (g *GPU) warpStep() {
+func (w *warp) step() {
+	g := w.g
 	if g.barPending {
-		g.barWaiting++
+		g.parked = append(g.parked, w)
 		g.checkBarrier()
 		return
 	}
@@ -136,33 +163,36 @@ func (g *GPU) warpStep() {
 	}
 	if a.IsBarrier() {
 		g.barPending = true
-		g.barWaiting++
+		g.parked = append(g.parked, w)
 		g.checkBarrier()
 		return
 	}
 	g.accesses++
-	issued := g.eng.Now()
-	g.mm.Access(a, func() {
-		g.stall += g.eng.Now() - issued
-		g.compute += g.cfg.ComputePerAccess
-		g.eng.After(g.cfg.ComputePerAccess, g.warpStep)
-	})
+	w.issued = g.eng.Now()
+	g.mm.Access(a, w.done)
+}
+
+// accessDone resumes the warp after its in-flight access lands.
+func (w *warp) accessDone() {
+	g := w.g
+	g.stall += g.eng.Now() - w.issued
+	g.compute += g.cfg.ComputePerAccess
+	g.eng.AfterCall(g.cfg.ComputePerAccess, warpStepEvent, w, 0)
 }
 
 // checkBarrier releases parked warps once every still-active warp has
 // arrived. Warps that drained the stream entirely do not count toward
 // the rendezvous (a finished thread block never blocks a grid sync).
 func (g *GPU) checkBarrier() {
-	if !g.barPending || g.barWaiting < g.active {
+	if !g.barPending || len(g.parked) < g.active {
 		return
 	}
 	g.barriers++
 	g.barPending = false
-	n := g.barWaiting
-	g.barWaiting = 0
-	for i := 0; i < n; i++ {
-		g.eng.After(0, g.warpStep)
+	for _, w := range g.parked {
+		g.eng.AfterCall(0, warpStepEvent, w, 0)
 	}
+	g.parked = g.parked[:0]
 }
 
 // Accesses reports coalesced accesses issued so far.

@@ -27,7 +27,12 @@ var MapOrder = &Analyzer{
 // scheduleNames are method names treated as event scheduling. They match
 // sim.Engine's API; any same-named method is close enough to deserve a
 // look (suppress with //lint:ignore when a false positive).
-var scheduleNames = map[string]bool{"After": true, "At": true, "Schedule": true}
+var scheduleNames = map[string]bool{
+	"After": true, "At": true, "Schedule": true,
+	// The typed zero-allocation scheduling path added with the pooled
+	// event engine.
+	"AfterCall": true, "AtCall": true,
+}
 
 func runMapOrder(pass *Pass) error {
 	for _, f := range pass.Files {

@@ -7,7 +7,8 @@ import "sort"
 
 type engine struct{}
 
-func (engine) After(d int64, fn func()) {}
+func (engine) After(d int64, fn func())                          {}
+func (engine) AfterCall(d int64, call func(any, int64), ctx any) {}
 
 func badAppend(m map[int]string) []string {
 	var out []string
@@ -20,6 +21,12 @@ func badAppend(m map[int]string) []string {
 func badSchedule(m map[int]int, eng engine) {
 	for range m {
 		eng.After(1, func() {}) // want `After call inside map iteration`
+	}
+}
+
+func badScheduleTyped(m map[int]int, eng engine) {
+	for range m {
+		eng.AfterCall(1, nil, nil) // want `AfterCall call inside map iteration`
 	}
 }
 

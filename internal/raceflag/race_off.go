@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceflag
+
+// Enabled reports whether the build is race-instrumented.
+const Enabled = false

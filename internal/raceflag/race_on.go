@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-gate tests skip under -race: instrumentation changes
+// allocation behavior, and the gates police the default build.
+package raceflag
+
+// Enabled reports whether the build is race-instrumented.
+const Enabled = true

@@ -7,10 +7,21 @@
 //
 // The engine is single-goroutine: callbacks run on the caller of Run, and
 // no synchronization is required inside components.
+//
+// # Scheduling paths
+//
+// Two scheduling APIs coexist. At/After accept a plain func() and remain
+// the general-purpose path; the closure they are handed is the caller's
+// only allocation. AtCall/AfterCall accept an EventFunc — a top-level
+// function plus a context pointer and an int64 argument — and allocate
+// nothing at all in steady state, which is what the per-access hot paths
+// (warp stepping, pipe completions) use. Internally both paths share one
+// representation: free-listed event records indexed by a slice-backed
+// binary heap, so no interface boxing or per-event allocation happens
+// inside the engine on either path.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/gmtsim/gmt/internal/invariant"
@@ -27,42 +38,61 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
-type event struct {
+// EventFunc is the typed callback of the zero-allocation scheduling
+// path: a top-level (or otherwise pre-existing) function invoked with
+// the context and argument captured at schedule time. Passing a pointer
+// as ctx does not allocate; capturing state in a fresh closure would.
+type EventFunc func(ctx any, arg int64)
+
+// CallFunc is an EventFunc that invokes its context as a niladic
+// function. It lets a caller holding an existing func() — typically a
+// completion callback threaded through device layers — schedule it
+// without wrapping it in a new closure:
+//
+//	eng.AtCall(t, sim.CallFunc, done, 0)
+//
+// A nil done is tolerated, so completion paths need no branch.
+func CallFunc(ctx any, _ int64) {
+	if fn, ok := ctx.(func()); ok && fn != nil {
+		fn()
+	}
+}
+
+// eventRecord is one scheduled event. Records live in a free-listed
+// arena owned by the engine: dispatch releases the record (zeroing its
+// callback references so dispatched closures become collectable) before
+// the callback runs, and the next schedule reuses it.
+type eventRecord struct {
 	at  Time
 	seq int64
-	fn  func()
-}
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	// Zero the vacated slot: the backing array outlives the pop, and a
-	// stale copy would keep the event's closure — and everything it
-	// captures — reachable for the rest of the run.
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+	// Exactly one of call/fn is set: call is the typed path (with ctx
+	// and arg), fn the compatibility path.
+	call EventFunc
+	ctx  any
+	arg  int64
+	fn   func()
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 // The zero value is ready to use.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    int64
-	steps  int64
+	now Time
+	// recs is the record arena; free lists reusable indices; heap is a
+	// binary min-heap of record indices ordered by (at, seq).
+	recs []eventRecord
+	free []int32
+	heap []int32
+
+	seq   int64
+	steps int64
+
+	// Pool conservation counters: every schedule acquires one record,
+	// every dispatch releases it. Run asserts they balance (under -tags
+	// gmtinvariants), so a pool leak fails loudly instead of silently
+	// re-growing the arena.
+	acquired int64
+	released int64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -75,31 +105,139 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() int64 { return e.steps }
 
 // Pending reports how many events are scheduled but not yet dispatched.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it always indicates a modeling bug.
 func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, nil, nil, 0, fn)
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, nil, nil, 0, fn) }
+
+// AtCall schedules call(ctx, arg) at virtual time t. Unlike At, this
+// path performs no allocation in steady state: the callback is a shared
+// function value and the context travels as a pointer.
+func (e *Engine) AtCall(t Time, call EventFunc, ctx any, arg int64) {
+	e.schedule(t, call, ctx, arg, nil)
+}
+
+// AfterCall schedules call(ctx, arg) d nanoseconds from now.
+func (e *Engine) AfterCall(d Time, call EventFunc, ctx any, arg int64) {
+	e.schedule(e.now+d, call, ctx, arg, nil)
+}
+
+func (e *Engine) schedule(t Time, call EventFunc, ctx any, arg int64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	id := e.acquireRecord()
+	r := &e.recs[id]
+	r.at = t
+	r.seq = e.seq
+	r.call = call
+	r.ctx = ctx
+	r.arg = arg
+	r.fn = fn
+	e.heapPush(id)
 }
 
-// After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// acquireRecord pops a free record index, growing the arena only when
+// the free list is empty (i.e. only while the peak event population is
+// still growing).
+func (e *Engine) acquireRecord() int32 {
+	e.acquired++
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.recs = append(e.recs, eventRecord{})
+	return int32(len(e.recs) - 1)
+}
 
-// Run dispatches events until none remain, advancing the clock.
+// releaseRecord zeroes the record — dropping its callback, context, and
+// closure references so everything they kept alive becomes collectable —
+// and returns the index to the free list.
+func (e *Engine) releaseRecord(id int32) {
+	e.released++
+	e.recs[id] = eventRecord{}
+	e.free = append(e.free, id)
+}
+
+// less orders record indices by (time, schedule sequence): FIFO within
+// an instant.
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.recs[a], &e.recs[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+func (e *Engine) heapPush(id int32) {
+	e.heap = append(e.heap, id)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() int32 {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && e.less(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !e.less(e.heap[m], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+	return top
+}
+
+// Run dispatches events until none remain, advancing the clock. On
+// completion it asserts event-pool conservation (gmtinvariants builds):
+// every acquired record must have been released back to the free list.
 func (e *Engine) Run() {
-	for len(e.events) > 0 {
+	for len(e.heap) > 0 {
 		e.step()
+	}
+	if invariant.Enabled {
+		invariant.Assert(e.acquired == e.released,
+			"sim: event pool leak: %d records acquired, %d released", e.acquired, e.released)
+		invariant.Assert(len(e.free) == len(e.recs),
+			"sim: event pool leak: %d free of %d records after drain", len(e.free), len(e.recs))
 	}
 }
 
 // RunUntil dispatches events with time <= t, then sets the clock to t.
+// A target behind the current clock panics: the clock is monotonic, and
+// a backwards target always indicates a harness bug (the same
+// invariant the dispatcher asserts per event under -tags gmtinvariants).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil target %d behind clock %d", t, e.now))
+	}
+	for len(e.heap) > 0 && e.recs[e.heap[0]].at <= t {
 		e.step()
 	}
 	if e.now < t {
@@ -108,10 +246,20 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
-	invariant.Assert(ev.at >= e.now,
-		"sim: clock would run backwards: dispatching event at %d with clock at %d", ev.at, e.now)
-	e.now = ev.at
+	id := e.heapPop()
+	r := &e.recs[id]
+	invariant.Assert(r.at >= e.now,
+		"sim: clock would run backwards: dispatching event at %d with clock at %d", r.at, e.now)
+	e.now = r.at
 	e.steps++
-	ev.fn()
+	call, ctx, arg, fn := r.call, r.ctx, r.arg, r.fn
+	// Release before dispatch: the record (and its references) is
+	// already recycled when the callback runs, so a callback scheduling
+	// new events reuses it immediately.
+	e.releaseRecord(id)
+	if call != nil {
+		call(ctx, arg)
+	} else {
+		fn()
+	}
 }

@@ -347,10 +347,9 @@ func TestPipeMinimumOccupancy(t *testing.T) {
 }
 
 // TestPopReleasesDispatchedEvents is the closure-retention regression:
-// heap.Pop moves the root into the slice's final slot before eventHeap.Pop
-// shrinks it, and the pre-fix code left that copy — closure and all — in
-// the backing array for the rest of the run. Every vacated slot must be
-// zeroed so dispatched events become collectable.
+// a dispatched event's record must be zeroed when it returns to the free
+// list, so the closure — and everything it captures — becomes
+// collectable instead of lingering in the arena for the rest of the run.
 func TestPopReleasesDispatchedEvents(t *testing.T) {
 	e := NewEngine()
 	const n = 16
@@ -358,14 +357,123 @@ func TestPopReleasesDispatchedEvents(t *testing.T) {
 		i := i
 		e.At(Time(i), func() { _ = i })
 	}
-	backing := e.events[:cap(e.events)]
 	e.Run()
-	if len(e.events) != 0 {
-		t.Fatalf("events remain after Run: %d", len(e.events))
+	if len(e.heap) != 0 {
+		t.Fatalf("events remain after Run: %d", len(e.heap))
 	}
-	for i := range backing {
-		if backing[i].fn != nil {
-			t.Fatalf("slot %d still holds a dispatched event's closure", i)
+	for i := range e.recs {
+		r := &e.recs[i]
+		if r.fn != nil || r.call != nil || r.ctx != nil {
+			t.Fatalf("record %d still holds a dispatched event's callback", i)
 		}
+	}
+}
+
+// countCall is a shared EventFunc for the typed-path tests.
+func countCall(ctx any, arg int64) {
+	s := ctx.(*[]int64)
+	*s = append(*s, arg)
+}
+
+func TestEngineTypedPathOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int64
+	e.AtCall(30, countCall, &got, 3)
+	e.AtCall(10, countCall, &got, 1)
+	e.At(20, func() { got = append(got, 2) })
+	e.AfterCall(25, countCall, &got, 4) // now=0, fires at 25
+	e.Run()
+	want := []int64{1, 2, 4, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("typed/compat interleaving = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineCallFunc(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.AtCall(5, CallFunc, func() { fired = true }, 0)
+	e.AtCall(6, CallFunc, (func())(nil), 0) // nil callback tolerated
+	e.Run()
+	if !fired {
+		t.Fatal("CallFunc did not invoke its context function")
+	}
+	if e.Now() != 6 {
+		t.Fatalf("Now = %d, want 6", e.Now())
+	}
+}
+
+func TestEnginePastTypedSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("typed scheduling in the past did not panic")
+			}
+		}()
+		e.AtCall(5, CallFunc, nil, 0)
+	})
+	e.Run()
+}
+
+func TestEngineRunUntilBackwardsPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.RunUntil(50)
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil with a backwards target did not panic")
+		}
+	}()
+	e.RunUntil(49)
+}
+
+// TestEnginePoolConservation checks the free-list accounting the
+// gmtinvariants build asserts at the end of Run: after a drain, every
+// acquired record is back on the free list.
+func TestEnginePoolConservation(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.AtCall(Time(i%7), CallFunc, func() {
+			e.AfterCall(3, CallFunc, (func())(nil), 0)
+		}, 0)
+	}
+	e.Run()
+	if e.acquired != e.released {
+		t.Fatalf("pool leak: %d acquired, %d released", e.acquired, e.released)
+	}
+	if len(e.free) != len(e.recs) {
+		t.Fatalf("pool leak: %d free of %d records", len(e.free), len(e.recs))
+	}
+	if e.acquired != 200 {
+		t.Fatalf("acquired = %d, want 200", e.acquired)
+	}
+}
+
+// TestEngineRecordReuse pins the pooling behavior: once the peak event
+// population has been reached, further scheduling reuses records instead
+// of growing the arena.
+func TestEngineRecordReuse(t *testing.T) {
+	e := NewEngine()
+	var chain EventFunc
+	remaining := 1000
+	chain = func(ctx any, arg int64) {
+		if remaining > 0 {
+			remaining--
+			e.AfterCall(1, chain, nil, 0)
+		}
+	}
+	e.AfterCall(1, chain, nil, 0)
+	e.Run()
+	if len(e.recs) != 1 {
+		t.Fatalf("arena grew to %d records for a 1-deep event chain", len(e.recs))
 	}
 }

@@ -182,11 +182,9 @@ func (p *Pipe) transfer(n int64, occ Time, done func()) {
 	p.transfers++
 	p.busy += occ
 	end := p.freeAt + p.latency
-	p.eng.At(end, func() {
-		if done != nil {
-			done()
-		}
-	})
+	// Typed path: completion callbacks are on the per-transfer hot path,
+	// and CallFunc forwards done without a wrapping closure.
+	p.eng.AtCall(end, CallFunc, done, 0)
 }
 
 // Backlog reports how far in the future the pipe is already committed.

@@ -1,0 +1,137 @@
+package tier
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/invariant"
+	"github.com/gmtsim/gmt/internal/raceflag"
+)
+
+// Microbenchmarks and allocation gates for the residency structures.
+// With dense slice indices, steady-state Touch / Insert / Remove /
+// Victim must not allocate.
+
+// BenchmarkClockTouch measures a reference-bit set on a resident page.
+func BenchmarkClockTouch(b *testing.B) {
+	const cap = 1024
+	c := NewClock(cap)
+	c.Reserve(cap)
+	for i := 0; i < cap; i++ {
+		c.Insert(PageID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(PageID(i % cap))
+	}
+}
+
+// BenchmarkClockInsertEvict measures a full replacement cycle on a full
+// clock: pick a victim, remove it, insert a new page.
+func BenchmarkClockInsertEvict(b *testing.B) {
+	const cap = 1024
+	const footprint = 4 * cap
+	c := NewClock(cap)
+	c.Reserve(footprint)
+	for i := 0; i < cap; i++ {
+		c.Insert(PageID(i))
+	}
+	next := PageID(cap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.Victim()
+		c.Remove(v)
+		c.Insert(next)
+		next++
+		if next == footprint {
+			next = 0
+			// The working set wrapped; pages 0..cap-1 may collide with
+			// residents, so restart from a distinct range.
+			b.StopTimer()
+			for c.Len() > 0 {
+				c.Remove(c.Victim())
+			}
+			for j := 0; j < cap; j++ {
+				c.Insert(PageID(j))
+			}
+			next = PageID(cap)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFIFOInsertEvict measures a full replacement cycle on a full
+// FIFO, cycling page IDs within a bounded footprint the way the Tier-2
+// store sees them.
+func BenchmarkFIFOInsertEvict(b *testing.B) {
+	const cap = 1024
+	const footprint = 4 * cap
+	f := NewFIFO(cap)
+	f.Reserve(footprint)
+	for i := 0; i < cap; i++ {
+		f.Insert(PageID(i))
+	}
+	next := PageID(cap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := f.Victim()
+		f.Remove(v)
+		f.Insert(next)
+		next = (next + 1) % footprint
+		for f.Contains(next) {
+			next = (next + 1) % footprint
+		}
+	}
+}
+
+// TestTierAllocGate is the CI gate for the tentpole's tier half:
+// steady-state Touch, Insert, Remove, and Victim on both structures
+// perform zero allocations once the index is warm.
+func TestTierAllocGate(t *testing.T) {
+	if raceflag.Enabled || invariant.Enabled {
+		t.Skip("allocation gates run on the default build only")
+	}
+	const cap = 256
+	const footprint = 4 * cap
+
+	c := NewClock(cap)
+	c.Reserve(footprint)
+	for i := 0; i < cap; i++ {
+		c.Insert(PageID(i))
+	}
+	nextC := PageID(cap)
+	n := testing.AllocsPerRun(500, func() {
+		c.Touch(PageID(int(nextC) % cap))
+		v := c.Victim()
+		c.Remove(v)
+		c.Insert(nextC)
+		nextC = cap + (nextC+1-cap)%(footprint-cap)
+		for c.Contains(nextC) {
+			nextC = cap + (nextC+1-cap)%(footprint-cap)
+		}
+	})
+	if n != 0 {
+		t.Errorf("clock touch+evict+insert = %.1f allocs/op, want 0", n)
+	}
+
+	f := NewFIFO(cap)
+	f.Reserve(footprint)
+	for i := 0; i < cap; i++ {
+		f.Insert(PageID(i))
+	}
+	nextF := PageID(cap)
+	n = testing.AllocsPerRun(500, func() {
+		v := f.Victim()
+		f.Remove(v)
+		f.Insert(nextF)
+		nextF = (nextF + 1) % footprint
+		for f.Contains(nextF) {
+			nextF = (nextF + 1) % footprint
+		}
+	})
+	if n != 0 {
+		t.Errorf("fifo victim+remove+insert = %.1f allocs/op, want 0", n)
+	}
+}

@@ -5,6 +5,15 @@
 //
 // These structures track membership and choose victims; page metadata
 // (dirty bits, timestamps, predictor state) lives with the runtime.
+//
+// Membership indices are dense slices keyed directly by PageID rather
+// than maps: page IDs are bounded by the workload footprint, so a
+// slice-backed directory gives O(1) lookups with no hashing, no
+// per-entry allocation, and — because every iteration the package
+// performs walks a slice — no map-order nondeterminism for the maporder
+// analyzer to police. The indices grow by doubling toward the largest
+// page ID seen (or are presized via Reserve), so steady-state Touch /
+// Insert / Remove / Victim perform zero allocations.
 package tier
 
 import (
@@ -37,10 +46,64 @@ type Store interface {
 	// unspecified; callers needing determinism must impose their own
 	// total order).
 	Each(fn func(PageID))
+	// Reserve presizes the page-ID index for a workload footprint of n
+	// pages, so the hot path never grows it mid-run.
+	Reserve(n int)
 	// Len and Capacity report occupancy; Full is Len() == Capacity().
 	Len() int
 	Capacity() int
 	Full() bool
+}
+
+// noSlot marks an absent page in a dense index.
+const noSlot int32 = -1
+
+// pageIndex is a dense PageID -> slot map backed by a slice. Absent
+// pages read noSlot. Negative page IDs panic: residency structures only
+// ever hold real dataset pages (sentinels like gpu.BarrierPage never
+// reach a store).
+type pageIndex struct {
+	v []int32
+}
+
+func (x *pageIndex) get(p PageID) int32 {
+	if p < 0 || int64(p) >= int64(len(x.v)) {
+		return noSlot
+	}
+	return x.v[p]
+}
+
+func (x *pageIndex) set(p PageID, slot int32) {
+	if p < 0 {
+		panic(fmt.Sprintf("tier: negative page id %d", p))
+	}
+	if int64(p) >= int64(len(x.v)) {
+		x.grow(int64(p) + 1)
+	}
+	x.v[p] = slot
+}
+
+func (x *pageIndex) del(p PageID) {
+	if p >= 0 && int64(p) < int64(len(x.v)) {
+		x.v[p] = noSlot
+	}
+}
+
+// grow extends the index to at least n entries, doubling to amortize.
+func (x *pageIndex) grow(n int64) {
+	size := int64(len(x.v))
+	if size < 64 {
+		size = 64
+	}
+	for size < n {
+		size *= 2
+	}
+	nv := make([]int32, size)
+	copy(nv, x.v)
+	for i := len(x.v); i < len(nv); i++ {
+		nv[i] = noSlot
+	}
+	x.v = nv
 }
 
 // Clock is a second-chance (clock) replacement set, the Tier-1
@@ -49,7 +112,8 @@ type Clock struct {
 	slots []PageID
 	ref   []bool
 	hand  int
-	index map[PageID]int
+	index pageIndex // page -> slot
+	n     int       // resident pages
 	free  []int
 }
 
@@ -63,7 +127,6 @@ func NewClock(capacity int) *Clock {
 	c := &Clock{
 		slots: make([]PageID, capacity),
 		ref:   make([]bool, capacity),
-		index: make(map[PageID]int, capacity),
 		free:  make([]int, 0, capacity),
 	}
 	for i := range c.slots {
@@ -73,9 +136,16 @@ func NewClock(capacity int) *Clock {
 	return c
 }
 
+// Reserve presizes the page index for an n-page footprint.
+func (c *Clock) Reserve(n int) {
+	if int64(n) > int64(len(c.index.v)) {
+		c.index.grow(int64(n))
+	}
+}
+
 // Insert adds p with its reference bit set.
 func (c *Clock) Insert(p PageID) {
-	if _, ok := c.index[p]; ok {
+	if c.index.get(p) != noSlot {
 		panic(fmt.Sprintf("tier: page %d already in clock", p))
 	}
 	if len(c.free) == 0 {
@@ -85,35 +155,39 @@ func (c *Clock) Insert(p PageID) {
 	c.free = c.free[:len(c.free)-1]
 	c.slots[i] = p
 	c.ref[i] = true
-	c.index[p] = i
+	c.index.set(p, int32(i))
+	c.n++
 	c.checkSlots()
 }
 
 // checkSlots asserts the clock's conservation invariant: every slot is
 // either resident or free (gmtinvariants builds only).
 func (c *Clock) checkSlots() {
-	invariant.Assert(len(c.index)+len(c.free) == len(c.slots),
-		"tier: clock slot leak: %d resident + %d free != %d capacity",
-		len(c.index), len(c.free), len(c.slots))
+	if invariant.Enabled {
+		invariant.Assert(c.n+len(c.free) == len(c.slots),
+			"tier: clock slot leak: %d resident + %d free != %d capacity",
+			c.n, len(c.free), len(c.slots))
+	}
 }
 
 // Touch sets p's reference bit; it is a no-op if p is absent.
 func (c *Clock) Touch(p PageID) {
-	if i, ok := c.index[p]; ok {
+	if i := c.index.get(p); i != noSlot {
 		c.ref[i] = true
 	}
 }
 
 // Remove deletes p.
 func (c *Clock) Remove(p PageID) bool {
-	i, ok := c.index[p]
-	if !ok {
+	i := c.index.get(p)
+	if i == noSlot {
 		return false
 	}
-	delete(c.index, p)
+	c.index.del(p)
 	c.slots[i] = NoPage
 	c.ref[i] = false
-	c.free = append(c.free, i)
+	c.free = append(c.free, int(i))
+	c.n--
 	c.checkSlots()
 	return true
 }
@@ -123,7 +197,7 @@ func (c *Clock) Remove(p PageID) bool {
 // occupied slot is the victim. The hand is left pointing at the victim, so
 // a caller that rejects the choice can call Reject and then Victim again.
 func (c *Clock) Victim() PageID {
-	if len(c.index) == 0 {
+	if c.n == 0 {
 		panic("tier: victim from empty clock")
 	}
 	for {
@@ -144,42 +218,49 @@ func (c *Clock) Victim() PageID {
 // this when a candidate's predicted reuse is "short" (§2.1.3: retain in
 // GPU memory and run another round of clock).
 func (c *Clock) Reject(p PageID) {
-	i, ok := c.index[p]
-	if !ok {
+	i := c.index.get(p)
+	if i == noSlot {
 		panic(fmt.Sprintf("tier: rejecting absent page %d", p))
 	}
 	c.ref[i] = true
-	if c.hand == i {
+	if c.hand == int(i) {
 		c.hand = (c.hand + 1) % len(c.slots)
 	}
 }
 
 // Contains reports residency.
-func (c *Clock) Contains(p PageID) bool { _, ok := c.index[p]; return ok }
+func (c *Clock) Contains(p PageID) bool { return c.index.get(p) != noSlot }
 
-// Each calls fn for every resident page (iteration order unspecified).
+// Each calls fn for every resident page, in slot order (deterministic,
+// but callers should not rely on a particular order).
 func (c *Clock) Each(fn func(PageID)) {
-	for p := range c.index {
-		fn(p)
+	for _, p := range c.slots {
+		if p != NoPage {
+			fn(p)
+		}
 	}
 }
 
 // Len reports the number of resident pages.
-func (c *Clock) Len() int { return len(c.index) }
+func (c *Clock) Len() int { return c.n }
 
 // Capacity reports the slot count.
 func (c *Clock) Capacity() int { return len(c.slots) }
 
 // Full reports whether every slot is occupied.
-func (c *Clock) Full() bool { return len(c.index) == len(c.slots) }
+func (c *Clock) Full() bool { return c.n == len(c.slots) }
 
 // FIFO is a first-in-first-out replacement set, GMT's Tier-2 eviction
 // mechanism (§2.2). Removal of arbitrary members (promotion to Tier-1)
-// is O(1) amortized via tombstones.
+// is O(1) amortized via tombstones; a head cursor plus in-place
+// compaction keeps the queue's backing array bounded and reused, so
+// steady-state Insert/Remove/Victim allocate nothing.
 type FIFO struct {
 	capacity int
 	queue    []PageID
-	index    map[PageID]struct{}
+	head     int // queue[:head] entries are consumed
+	resident []bool
+	n        int
 }
 
 var _ Store = (*FIFO)(nil)
@@ -189,80 +270,127 @@ func NewFIFO(capacity int) *FIFO {
 	if capacity < 1 {
 		panic("tier: fifo capacity must be >= 1")
 	}
-	return &FIFO{capacity: capacity, index: make(map[PageID]struct{}, capacity)}
+	return &FIFO{capacity: capacity}
+}
+
+// Reserve presizes the residency index for an n-page footprint.
+func (f *FIFO) Reserve(n int) {
+	if n > len(f.resident) {
+		nv := make([]bool, n)
+		copy(nv, f.resident)
+		f.resident = nv
+	}
+}
+
+func (f *FIFO) isResident(p PageID) bool {
+	return p >= 0 && int64(p) < int64(len(f.resident)) && f.resident[p]
 }
 
 // Insert adds p at the tail.
 func (f *FIFO) Insert(p PageID) {
-	if _, ok := f.index[p]; ok {
+	if p < 0 {
+		panic(fmt.Sprintf("tier: negative page id %d", p))
+	}
+	if f.isResident(p) {
 		panic(fmt.Sprintf("tier: page %d already in fifo", p))
 	}
-	if len(f.index) >= f.capacity {
+	if f.n >= f.capacity {
 		panic("tier: fifo full")
 	}
-	f.index[p] = struct{}{}
+	if int64(p) >= int64(len(f.resident)) {
+		f.Reserve(growSize(len(f.resident), int(p)+1))
+	}
+	f.resident[p] = true
+	f.n++
 	f.queue = append(f.queue, p)
 	f.compact()
-	invariant.Assert(len(f.index) <= f.capacity,
-		"tier: fifo holds %d residents above capacity %d", len(f.index), f.capacity)
+	invariant.Assert(f.n <= f.capacity,
+		"tier: fifo holds %d residents above capacity %d", f.n, f.capacity)
+}
+
+// growSize doubles have toward need (minimum 64) to amortize index
+// growth.
+func growSize(have, need int) int {
+	size := have
+	if size < 64 {
+		size = 64
+	}
+	for size < need {
+		size *= 2
+	}
+	return size
 }
 
 // Remove deletes p (leaving a tombstone in the queue).
 func (f *FIFO) Remove(p PageID) bool {
-	if _, ok := f.index[p]; !ok {
+	if !f.isResident(p) {
 		return false
 	}
-	delete(f.index, p)
+	f.resident[p] = false
+	f.n--
 	return true
 }
 
 // Victim reports the oldest resident page.
 func (f *FIFO) Victim() PageID {
 	f.skipDead()
-	if len(f.queue) == 0 {
+	if f.head >= len(f.queue) {
 		panic("tier: victim from empty fifo")
 	}
-	return f.queue[0]
+	return f.queue[f.head]
 }
 
 func (f *FIFO) skipDead() {
-	for len(f.queue) > 0 {
-		if _, ok := f.index[f.queue[0]]; ok {
-			return
-		}
-		f.queue = f.queue[1:]
+	for f.head < len(f.queue) && !f.resident[f.queue[f.head]] {
+		f.head++
 	}
 }
 
-// compact reclaims queue storage when tombstones dominate.
+// compact reclaims queue storage when consumed entries and tombstones
+// dominate, rewriting the live tail into the front of the same backing
+// array so append reuses it. The trigger measures the unconsumed queue
+// (excluding the prefix skipDead already passed): compaction drops dead
+// mid-queue entries, which changes where a later re-insert of those
+// pages lands, so when it fires is part of the replacement order and
+// must not depend on how the consumed prefix is represented.
 func (f *FIFO) compact() {
-	if len(f.queue) < 2*f.capacity || len(f.queue) < 64 {
+	if n := len(f.queue) - f.head; n < 2*f.capacity || n < 64 {
 		return
 	}
 	live := f.queue[:0]
-	for _, p := range f.queue {
-		if _, ok := f.index[p]; ok {
+	for _, p := range f.queue[f.head:] {
+		if f.resident[p] {
 			live = append(live, p)
 		}
 	}
 	f.queue = live
+	f.head = 0
 }
 
 // Contains reports residency.
-func (f *FIFO) Contains(p PageID) bool { _, ok := f.index[p]; return ok }
+func (f *FIFO) Contains(p PageID) bool { return f.isResident(p) }
 
-// Each calls fn for every resident page (iteration order unspecified).
+// Each calls fn for every resident page, in ascending page-ID order
+// (deterministic; the queue itself may hold stale duplicates for
+// re-inserted pages, so it cannot be walked directly).
 func (f *FIFO) Each(fn func(PageID)) {
-	for p := range f.index {
-		fn(p)
+	seen := 0
+	for p, r := range f.resident {
+		if r {
+			fn(PageID(p))
+			seen++
+			if seen == f.n {
+				return
+			}
+		}
 	}
 }
 
 // Len reports the number of resident pages.
-func (f *FIFO) Len() int { return len(f.index) }
+func (f *FIFO) Len() int { return f.n }
 
 // Capacity reports the maximum residency.
 func (f *FIFO) Capacity() int { return f.capacity }
 
 // Full reports whether the FIFO is at capacity.
-func (f *FIFO) Full() bool { return len(f.index) >= f.capacity }
+func (f *FIFO) Full() bool { return f.n >= f.capacity }
