@@ -1,0 +1,134 @@
+package main
+
+// In-process microbenchmarks and the benchmark regression gate. The
+// microbenchmarks mirror the repo's headline `go test -bench` pair
+// (BenchmarkSingleRun, BenchmarkPerAccessHit) so a committed
+// BENCH_suite.json records the perf trajectory the CI gate compares
+// against without needing the test binary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// benchMicro is one in-process microbenchmark result attached to the
+// report under "microbench" (omitted entirely when -microbench is off,
+// so default report bytes are unchanged).
+type benchMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runMicrobench runs the two headline microbenchmarks: one complete
+// Figure 8-scale simulation (engine, runtime, GPU, devices; workload
+// generation excluded) and the steady-state Tier-1 hit path.
+func runMicrobench() []benchMicro {
+	scale := workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2}
+	trace := workload.NewMultiVectorAdd(scale).Trace()
+	single := testing.Benchmark(func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Policy = core.PolicyReuse
+		cfg.Tier1Pages = scale.Tier1Pages
+		cfg.Tier2Pages = scale.Tier2Pages
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			rt := core.NewRuntime(eng, cfg)
+			g := gpu.New(eng, gpu.DefaultConfig(), &gpu.SliceStream{Trace: trace}, rt)
+			g.Launch()
+			eng.Run()
+		}
+	})
+	hit := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		cfg := core.DefaultConfig()
+		cfg.Policy = core.PolicyBaM
+		cfg.Tier1Pages = 256
+		cfg.FootprintPages = 128
+		rt := core.NewRuntime(eng, cfg)
+		done := func() {}
+		for p := 0; p < 128; p++ {
+			rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
+		}
+		eng.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !rt.AccessSync(gpu.Access{Page: tier.PageID(i % 128)}, done) {
+				b.Fatal("resident access missed")
+			}
+		}
+		b.StopTimer()
+		eng.Run()
+	})
+	toMicro := func(name string, r testing.BenchmarkResult) benchMicro {
+		return benchMicro{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	return []benchMicro{
+		toMicro("SingleRun", single),
+		toMicro("PerAccessHit", hit),
+	}
+}
+
+// Regression-gate tolerances (-comparebench). Wall clock is noisy across
+// runners, so an experiment only fails at >1.25x the baseline plus a
+// 100ms absolute floor for sub-second phases. Allocation counts are
+// deterministic modulo map growth and slice doubling, so the band is
+// tight: +1% plus a 10k-object floor.
+const (
+	compareWallRatio   = 1.25
+	compareWallSlackMS = 100
+	compareMallocRatio = 1.01
+	compareMallocSlack = 10_000
+)
+
+// compareBench gates the current report against a committed baseline,
+// returning one error per regressed experiment.
+func compareBench(baselinePath string, cur benchReport) []error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return []error{err}
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []error{fmt.Errorf("%s: %v", baselinePath, err)}
+	}
+	baseline := make(map[string]benchExperiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.Name] = e
+	}
+	var errs []error
+	for _, e := range cur.Experiments {
+		b, ok := baseline[e.Name]
+		if !ok {
+			continue // new experiment: nothing to regress against
+		}
+		if maxWall := b.WallMS*compareWallRatio + compareWallSlackMS; e.WallMS > maxWall {
+			errs = append(errs, fmt.Errorf(
+				"%s: wall clock regressed: %.1fms vs baseline %.1fms (limit %.1fms)",
+				e.Name, e.WallMS, b.WallMS, maxWall))
+		}
+		if maxMallocs := float64(b.Mallocs)*compareMallocRatio + compareMallocSlack; float64(e.Mallocs) > maxMallocs {
+			errs = append(errs, fmt.Errorf(
+				"%s: allocation count regressed: %d objects vs baseline %d (limit %.0f)",
+				e.Name, e.Mallocs, b.Mallocs, maxMallocs))
+		}
+	}
+	return errs
+}

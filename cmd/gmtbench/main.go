@@ -27,6 +27,13 @@
 //	             gmt-bench-suite/v1: per-experiment wall clock and
 //	             allocation deltas, prewarm job/hit counts, estimated
 //	             speedup vs sequential) to P
+//	-microbench  also run the in-process microbenchmarks (SingleRun,
+//	             PerAccessHit) and attach them to the report under
+//	             "microbench"
+//	-comparebench P  compare this run's report against a committed
+//	             gmt-bench-suite/v1 baseline at P and exit 1 on
+//	             regression (wall clock beyond 1.25x + 100ms slack, or
+//	             allocation count beyond +1% + 10k objects)
 //	-cpuprofile P  write a CPU profile (pprof) to P
 //	-memprofile P  write an allocation profile (pprof) to P
 //	-trace P       write a runtime execution trace to P
@@ -61,6 +68,7 @@ type benchReport struct {
 	Parallel        int               `json:"parallel"`
 	Prewarm         *benchPrewarm     `json:"prewarm,omitempty"`
 	Experiments     []benchExperiment `json:"experiments"`
+	Micro           []benchMicro      `json:"microbench,omitempty"`
 	TotalWallMS     float64           `json:"total_wall_ms"`
 	EstSequentialMS float64           `json:"est_sequential_ms"`
 	SpeedupVsSeq    float64           `json:"speedup_vs_sequential"`
@@ -124,6 +132,10 @@ func main() {
 		"worker goroutines prewarming simulations (1 = sequential)")
 	benchjson := flag.String("benchjson", "",
 		"write a gmt-bench-suite/v1 JSON report to this path")
+	microbench := flag.Bool("microbench", false,
+		"also run the in-process microbenchmarks (SingleRun, PerAccessHit) and attach them to the report")
+	comparebench := flag.String("comparebench", "",
+		"compare this run against a committed gmt-bench-suite/v1 baseline and exit 1 on regression")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this path")
@@ -348,7 +360,19 @@ func main() {
 		execute(name, run[name])
 	}
 
-	if *benchjson != "" {
+	var micro []benchMicro
+	if *microbench {
+		micro = runMicrobench()
+		if !*jsonOut {
+			for _, m := range micro {
+				fmt.Printf("microbench %-14s %12.1f ns/op %8d B/op %6d allocs/op\n",
+					m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *benchjson != "" || *comparebench != "" {
 		rep := benchReport{
 			Schema:      "gmt-bench-suite/v1",
 			Scale:       scale,
@@ -383,16 +407,30 @@ func main() {
 		if rep.TotalWallMS > 0 {
 			rep.SpeedupVsSeq = rep.EstSequentialMS / rep.TotalWallMS
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*benchjson, append(data, '\n'), 0o644)
+		rep.Micro = micro
+		if *benchjson != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*benchjson, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if !*jsonOut {
+				fmt.Printf("wrote %s\n", *benchjson)
+			}
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if !*jsonOut {
-			fmt.Printf("wrote %s\n", *benchjson)
+		if *comparebench != "" {
+			if errs := compareBench(*comparebench, rep); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "gmtbench: regression: %v\n", e)
+				}
+				os.Exit(1)
+			}
+			if !*jsonOut {
+				fmt.Printf("no benchmark regressions vs %s\n", *comparebench)
+			}
 		}
 	}
 

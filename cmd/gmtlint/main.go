@@ -15,6 +15,8 @@
 //	noglobalrand  every package
 //	maporder      every package
 //	nogoroutine   the single-goroutine simulator packages
+//	hotclosure    the per-access simulator packages (closure-based
+//	              Engine.At/After allocates; use AtCall/AfterCall)
 //
 // Suppress an individual false positive with a trailing or
 // preceding-line comment carrying a mandatory reason:
@@ -40,6 +42,20 @@ var simPackages = map[string]bool{
 	"internal/nvme": true,
 	"internal/pcie": true,
 	"internal/gpu":  true,
+	"internal/xfer": true,
+}
+
+// hotPackages are the per-access simulator packages where hotclosure
+// applies: event scheduling there sits on the hot path, so the typed
+// AtCall/AfterCall variants are mandatory (cold exceptions carry a
+// //lint:ignore hotclosure reason). internal/sim itself is exempt — it
+// defines the closure API and its tests exercise it.
+var hotPackages = map[string]bool{
+	"internal/core": true,
+	"internal/gpu":  true,
+	"internal/tier": true,
+	"internal/nvme": true,
+	"internal/pcie": true,
 	"internal/xfer": true,
 }
 
@@ -80,6 +96,8 @@ func main() {
 		switch a.Name {
 		case "nogoroutine":
 			return simPackages[rel]
+		case "hotclosure":
+			return hotPackages[rel]
 		case "norealtime":
 			return !strings.HasPrefix(rel, "cmd/")
 		default:

@@ -1,0 +1,74 @@
+package gmt
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// asyncRuntime hides core.Runtime's AccessSync so the GPU falls back to
+// the classic callback path. Driving the same workload through both
+// faces of the same runtime is the full-stack form of the fast-path
+// equivalence argument (HACKING.md, "Scheduler determinism contract"):
+// the inline hit streak must be observationally identical to the queued
+// continuation events it replaces.
+type asyncRuntime struct{ rt *core.Runtime }
+
+func (a asyncRuntime) Access(ac gpu.Access, done func()) { a.rt.Access(ac, done) }
+
+// fastPathTrace mixes Tier-1 hits, capacity misses, writes, and
+// kernel-wide barriers over a footprint twice the Tier-1 size.
+func fastPathTrace(n int) []gpu.Access {
+	tr := make([]gpu.Access, 0, n+n/200)
+	for i := 0; i < n; i++ {
+		tr = append(tr, gpu.Access{
+			Page:  tier.PageID(i * 7919 % 512),
+			Write: i%13 == 0,
+		})
+		if (i+1)%200 == 0 {
+			tr = append(tr, gpu.Barrier)
+		}
+	}
+	return tr
+}
+
+// TestFastPathMatchesQueuedPath runs every policy's full runtime stack
+// with and without the synchronous-hit fast path; wall time and the
+// entire metrics snapshot must be identical.
+func TestFastPathMatchesQueuedPath(t *testing.T) {
+	for _, pol := range []core.PolicyKind{core.PolicyBaM, core.PolicyTierOrder, core.PolicyReuse} {
+		run := func(hide bool) (sim.Time, stats.Run) {
+			eng := sim.NewEngine()
+			cfg := core.DefaultConfig()
+			cfg.Policy = pol
+			cfg.Tier1Pages = 256
+			cfg.FootprintPages = 512
+			rt := core.NewRuntime(eng, cfg)
+			var mm gpu.MemoryManager = rt
+			if hide {
+				mm = asyncRuntime{rt}
+			}
+			gcfg := gpu.DefaultConfig()
+			gcfg.Warps = 32
+			g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: fastPathTrace(4000)}, mm)
+			g.Launch()
+			eng.Run()
+			if !g.Done() {
+				t.Fatalf("%v: kernel did not finish", pol)
+			}
+			return eng.Now(), rt.Snapshot()
+		}
+		fnow, fm := run(false)
+		qnow, qm := run(true)
+		if fnow != qnow {
+			t.Errorf("%v: wall time: fast path %d, queued path %d", pol, fnow, qnow)
+		}
+		if fm != qm {
+			t.Errorf("%v: metrics diverged:\nfast:   %+v\nqueued: %+v", pol, fm, qm)
+		}
+	}
+}

@@ -42,8 +42,20 @@ func (d *pageDirectory) reserve(n int) {
 }
 
 // lookup returns p's state, creating it (on the SSD, clean) on first
-// reference.
+// reference. The fast path is one unsigned compare (rejecting negative
+// IDs and out-of-range IDs together) plus the slice load, small enough
+// to inline into the per-access path; first references and growth take
+// the outlined slow path.
 func (d *pageDirectory) lookup(p tier.PageID) *pageState {
+	if uint64(p) < uint64(len(d.dir)) {
+		if ps := d.dir[p]; ps != nil {
+			return ps
+		}
+	}
+	return d.lookupSlow(p)
+}
+
+func (d *pageDirectory) lookupSlow(p tier.PageID) *pageState {
 	if p < 0 {
 		panic(fmt.Sprintf("core: negative page id %d", p))
 	}

@@ -240,8 +240,12 @@ const (
 )
 
 type pageState struct {
-	loc   location
-	dirty bool
+	loc location
+	// t1slot caches the Tier-1 clock slot while loc == locTier1 (set at
+	// install), so the hit path touches the clock's reference bitmap
+	// directly instead of re-resolving page -> slot per access.
+	t1slot int32
+	dirty  bool
 	// pendingDirty records writes that arrive while the page is in
 	// flight; applied at install.
 	pendingDirty bool
@@ -309,6 +313,12 @@ type Runtime struct {
 	markov     reuse.Markov
 	classifier reuse.Classifier
 	rng        *rand.Rand
+	// historySample is cfg.HistorySample pre-widened to int64 so the
+	// per-access modulus needs no conversion; hotAux is true when any
+	// sampling work (history snapshots, the reuse sampler) must run per
+	// access, folding those checks into one branch on the hit path.
+	historySample int64
+	hotAux        bool
 	// nextOcc[i] is the next access index of the page accessed at
 	// index i (PolicyOracle only; -1 = never again).
 	nextOcc []int64
@@ -322,7 +332,7 @@ type Runtime struct {
 	history []stats.Run
 }
 
-var _ gpu.MemoryManager = (*Runtime)(nil)
+var _ gpu.SyncMemoryManager = (*Runtime)(nil)
 
 // NewRuntime builds a runtime (and its devices) on eng.
 func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
@@ -390,6 +400,8 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		}
 	}
 	rt.m.Policy = cfg.Policy.String()
+	rt.historySample = int64(cfg.HistorySample)
+	rt.hotAux = rt.historySample > 0 || rt.sampler != nil
 	return rt
 }
 
@@ -446,6 +458,17 @@ func (rt *Runtime) page(p tier.PageID) *pageState {
 
 // Access implements gpu.MemoryManager: one coalesced page reference.
 func (rt *Runtime) Access(a gpu.Access, done func()) {
+	if rt.AccessSync(a, done) {
+		done()
+	}
+}
+
+// AccessSync implements gpu.SyncMemoryManager. A Tier-1 hit completes
+// inline — the return value true stands in for the done() call the
+// classic path would make synchronously, and done is neither retained
+// nor invoked. Every other location takes the asynchronous machinery
+// and will call done exactly once when the page lands.
+func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 	if invariant.Enabled {
 		invariant.Assert(rt.t1.Len()+rt.reserved <= rt.t1.Capacity(),
 			"core: tier-1 oversubscribed: %d resident + %d reserved > %d slots",
@@ -455,23 +478,29 @@ func (rt *Runtime) Access(a gpu.Access, done func()) {
 	idx := rt.vtd
 	rt.vtd++
 	rt.m.Accesses++
-	if rt.cfg.HistorySample > 0 && rt.m.Accesses%int64(rt.cfg.HistorySample) == 0 {
-		rt.history = append(rt.history, rt.Snapshot())
+	if rt.hotAux {
+		rt.accessAux(a.Page)
 	}
-	if rt.sampler != nil {
-		rt.sampler.Observe(a.Page)
+	// Open-coded pageDirectory.lookup fast path: lookup's inline cost
+	// lands just over the compiler's budget, and this is the hottest
+	// call site in the simulator, so the one-compare resident case is
+	// spelled out here and everything else takes the outlined slow path.
+	var ps *pageState
+	if dir := rt.dir.dir; uint64(a.Page) < uint64(len(dir)) {
+		ps = dir[a.Page]
 	}
-	ps := rt.page(a.Page)
+	if ps == nil {
+		ps = rt.dir.lookupSlow(a.Page)
+	}
 	if rt.nextOcc != nil {
 		if idx >= int64(len(rt.nextOcc)) {
 			panic("core: access beyond Config.Future")
 		}
 		ps.nextUse = rt.nextOcc[idx]
 	}
-	switch ps.loc {
-	case locTier1:
+	if ps.loc == locTier1 {
 		rt.m.Tier1Hits++
-		rt.t1.Touch(a.Page)
+		rt.t1.TouchSlot(ps.t1slot)
 		if a.Write {
 			ps.dirty = true
 		}
@@ -479,7 +508,9 @@ func (rt *Runtime) Access(a gpu.Access, done func()) {
 			ps.prefetched = false
 			rt.m.PrefetchHits++
 		}
-		done()
+		return true
+	}
+	switch ps.loc {
 	case locInFlight:
 		rt.m.InFlightJoins++
 		if a.Write {
@@ -498,6 +529,20 @@ func (rt *Runtime) Access(a gpu.Access, done func()) {
 		rt.fetchFromSSD(a, ps, done)
 	default:
 		panic("core: invalid page location")
+	}
+	return false
+}
+
+// accessAux is the cold sampling tail of the access prefix: metric
+// history snapshots and reuse-sampler observation. Split out (and gated
+// by hotAux) so the hit path pays one predictable branch instead of a
+// config conversion and two field tests per access.
+func (rt *Runtime) accessAux(p tier.PageID) {
+	if rt.historySample > 0 && rt.m.Accesses%rt.historySample == 0 {
+		rt.history = append(rt.history, rt.Snapshot())
+	}
+	if rt.sampler != nil {
+		rt.sampler.Observe(p)
 	}
 }
 
@@ -539,6 +584,7 @@ func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 	// the "demand miss creates a free slot" flow of §2.2.
 	rt.t2.Remove(a.Page)
 	rt.beginFetch(a, ps, done, func() {
+		//lint:ignore hotclosure miss path; the capture is per-fetch state and transfer latency dominates
 		rt.eng.After(rt.cfg.Tier2Lookup+rt.cfg.HostSWOverhead, func() {
 			rt.mover.MovePage(false, gpu.WarpThreads, func() {
 				rt.m.PagesToGPU++
@@ -560,6 +606,7 @@ func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
 	}
 	rt.m.SSDFills++
 	rt.beginFetch(a, ps, done, func() {
+		//lint:ignore hotclosure miss path; the capture is per-fetch state and drive latency dominates
 		rt.eng.After(lookup, func() {
 			rt.ssd.Read(int64(a.Page), rt.cfg.PageSize, func(nvme.Completion) {
 				rt.landFill(a.Page)
@@ -581,6 +628,7 @@ func (rt *Runtime) landFill(p tier.PageID) {
 	// Ablation: the page lands in a host staging buffer first, then is
 	// moved up by the warp, paying the host software path and an extra
 	// PCIe hop on every fill.
+	//lint:ignore hotclosure UpPathThroughTier2 ablation only; never on the default hot path
 	rt.eng.After(rt.cfg.HostSWOverhead, func() {
 		rt.mover.MovePage(false, gpu.WarpThreads, func() {
 			rt.m.PagesToGPU++
@@ -651,7 +699,7 @@ func (rt *Runtime) acquireSlot(start func()) {
 func (rt *Runtime) install(p tier.PageID) {
 	ps := rt.dir.get(p)
 	rt.reserved--
-	rt.t1.Insert(p)
+	ps.t1slot = rt.t1.InsertSlot(p)
 	ps.loc = locTier1
 	ps.dirty = ps.pendingDirty
 	ps.pendingDirty = false
@@ -895,7 +943,7 @@ func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay 
 	}
 	move := func() { rt.mover.MovePage(true, gpu.WarpThreads, ready) }
 	if delay > 0 {
-		rt.eng.After(delay, move)
+		rt.eng.AfterCall(delay, sim.CallFunc, move, 0)
 		return
 	}
 	move()

@@ -1,0 +1,173 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/invariant"
+	"github.com/gmtsim/gmt/internal/raceflag"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// stormStream is an endless barrier-heavy workload: every warp gets one
+// resident access per cycle, then the whole grid synchronizes. It is the
+// worst case for barrier bookkeeping — the rendezvous fires once per
+// compute quantum — and the steady state must not allocate.
+type stormStream struct {
+	i     int
+	warps int
+}
+
+func (s *stormStream) Next() (Access, bool) {
+	s.i++
+	if s.i%(s.warps+1) == 0 {
+		return Barrier, true
+	}
+	return Access{Page: tier.PageID(s.i % 128)}, true
+}
+
+// stormWindow is the virtual time one benchmark iteration advances: with
+// ComputePerAccess = 100ns every window completes ~100 barriers.
+const stormWindow = 10_000 * sim.Nanosecond
+
+func newStorm(warps int) (*sim.Engine, *GPU) {
+	eng := sim.NewEngine()
+	g := New(eng, Config{Warps: warps, ComputePerAccess: 100 * sim.Nanosecond},
+		&stormStream{warps: warps}, ResidentManager{})
+	g.Launch()
+	eng.RunUntil(stormWindow) // reach steady state before measuring
+	return eng, g
+}
+
+// BenchmarkBarrierStorm measures the steady-state cost of kernel-wide
+// barriers: 64 warps hitting a grid sync every compute quantum. The
+// batch release (one event re-stepping arrivals in order, instead of one
+// queue entry per warp) is what keeps this path allocation-free; the
+// paired TestBarrierStormAllocGate is the CI gate.
+func BenchmarkBarrierStorm(b *testing.B) {
+	eng, g := newStorm(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(eng.Now() + stormWindow)
+	}
+	b.StopTimer()
+	if g.Barriers() == 0 {
+		b.Fatal("storm completed no barriers")
+	}
+}
+
+// TestBarrierStormAllocGate pins the barrier rendezvous/release cycle at
+// zero steady-state allocations: parked/releasing ping-pong buffers never
+// grow past Launch, and the release event rides the engine's free-listed
+// record arena.
+func TestBarrierStormAllocGate(t *testing.T) {
+	if raceflag.Enabled || invariant.Enabled {
+		t.Skip("allocation gates run on the default build only")
+	}
+	eng, g := newStorm(64)
+	before := g.Barriers()
+	n := testing.AllocsPerRun(100, func() {
+		eng.RunUntil(eng.Now() + stormWindow)
+	})
+	if n != 0 {
+		t.Errorf("steady-state barrier storm = %.1f allocs/op, want 0", n)
+	}
+	if g.Barriers() == before {
+		t.Fatal("storm completed no barriers while gating")
+	}
+}
+
+// asyncOnly hides a manager's AccessSync so the GPU takes the classic
+// callback path. Running the same workload through both faces of the
+// same manager is the executable form of the fast-path equivalence
+// argument (HACKING.md, "Scheduler determinism contract").
+type asyncOnly struct{ mm MemoryManager }
+
+func (a asyncOnly) Access(ac Access, done func()) { a.mm.Access(ac, done) }
+
+// mixedManager resolves even pages synchronously and odd pages after a
+// page-dependent latency, so hit streaks, misses, and barrier arrivals
+// interleave in a nontrivial order.
+type mixedManager struct{ eng *sim.Engine }
+
+func (m mixedManager) Access(a Access, done func()) {
+	if !m.AccessSync(a, done) {
+		return
+	}
+	done()
+}
+
+func (m mixedManager) AccessSync(a Access, done func()) bool {
+	if a.Page%2 == 0 {
+		return true
+	}
+	m.eng.After(sim.Time(100+a.Page%7*300), done)
+	return false
+}
+
+// barrierMixTrace interleaves accesses and grid syncs: phases of 2×warps
+// accesses separated by barriers.
+func barrierMixTrace(warps, phases int) []Access {
+	var tr []Access
+	p := tier.PageID(0)
+	for k := 0; k < phases; k++ {
+		for i := 0; i < 2*warps; i++ {
+			tr = append(tr, Access{Page: p})
+			p++
+		}
+		tr = append(tr, Barrier)
+	}
+	return tr
+}
+
+// TestFastPathMatchesQueuedPath runs a barrier-heavy mixed-latency
+// workload once with the synchronous fast path and once with it hidden;
+// wall time and every GPU-side metric must agree. This exercises the
+// streak-breaking rule (a tied event must win the FIFO tie-break over an
+// inline advance) and the batching flag that pins the fast path off
+// while a barrier release batch is mid-flight.
+func TestFastPathMatchesQueuedPath(t *testing.T) {
+	run := func(hide bool) (sim.Time, int64, int64, sim.Time, sim.Time) {
+		eng := sim.NewEngine()
+		var mm MemoryManager = mixedManager{eng}
+		if hide {
+			mm = asyncOnly{mm}
+		}
+		g := New(eng, Config{Warps: 8, ComputePerAccess: 50 * sim.Nanosecond},
+			&SliceStream{Trace: barrierMixTrace(8, 5)}, mm)
+		g.Launch()
+		eng.Run()
+		if !g.Done() {
+			t.Fatal("kernel did not finish")
+		}
+		return eng.Now(), g.Accesses(), g.Barriers(), g.StallTime(), g.ComputeTime()
+	}
+	fnow, facc, fbar, fstall, fcomp := run(false)
+	qnow, qacc, qbar, qstall, qcomp := run(true)
+	if fnow != qnow {
+		t.Errorf("wall time: fast path %d, queued path %d", fnow, qnow)
+	}
+	if facc != qacc || fbar != qbar {
+		t.Errorf("accesses/barriers: fast %d/%d, queued %d/%d", facc, fbar, qacc, qbar)
+	}
+	if fstall != qstall || fcomp != qcomp {
+		t.Errorf("stall/compute: fast %d/%d, queued %d/%d", fstall, fcomp, qstall, qcomp)
+	}
+}
+
+// TestBarrierReleaseDeterministic pins the batch release to a single
+// reproducible schedule: two identical storm runs must dispatch the same
+// number of events and land on the same clock.
+func TestBarrierReleaseDeterministic(t *testing.T) {
+	run := func() (sim.Time, int64, int64) {
+		eng, g := newStorm(16)
+		eng.RunUntil(eng.Now() + 50*stormWindow)
+		return eng.Now(), eng.Steps(), g.Barriers()
+	}
+	n1, s1, b1 := run()
+	n2, s2, b2 := run()
+	if n1 != n2 || s1 != s2 || b1 != b2 {
+		t.Fatalf("storm diverged: (%d,%d,%d) vs (%d,%d,%d)", n1, s1, b1, n2, s2, b2)
+	}
+}

@@ -77,7 +77,7 @@ func (c *Cache) Access(a Access, done func()) {
 			if a.Write {
 				set[i].dirty = true
 			}
-			c.eng.After(c.cfg.HitLatency, done)
+			c.eng.AfterCall(c.cfg.HitLatency, sim.CallFunc, done, 0)
 			return
 		}
 	}

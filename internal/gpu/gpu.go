@@ -67,6 +67,21 @@ type MemoryManager interface {
 	Access(a Access, done func())
 }
 
+// SyncMemoryManager is the optional fast-path extension of
+// MemoryManager. AccessSync resolves a like Access, but reports inline
+// completion instead of trampolining through done: a true return means
+// the access completed synchronously at the current virtual time and
+// done was neither retained nor called; false means the manager took
+// the asynchronous path and will invoke done exactly once, later (or
+// already has, synchronously — the classic contract). The GPU detects
+// the interface at Launch and lets hitting warps consume consecutive
+// accesses without touching the event queue (see HACKING.md,
+// "Scheduler determinism contract").
+type SyncMemoryManager interface {
+	MemoryManager
+	AccessSync(a Access, done func()) bool
+}
+
 // Config sizes the execution model.
 type Config struct {
 	// Warps is the number of concurrently resident warps.
@@ -87,6 +102,11 @@ type GPU struct {
 	cfg    Config
 	stream Stream
 	mm     MemoryManager
+	// sync is non-nil when mm implements SyncMemoryManager; hitting
+	// accesses then complete inline and warps stream through hit chains
+	// without scheduling (the streak breaks whenever Peek shows another
+	// event due in the compute window).
+	sync SyncMemoryManager
 
 	accesses int64
 	stall    sim.Time
@@ -102,11 +122,21 @@ type GPU struct {
 	// Barrier state: once one warp consumes the barrier token from the
 	// shared stream, barPending parks every other warp as it completes
 	// its in-flight work, until all active warps have arrived. parked
-	// records arrivals in order; release re-schedules them in that same
-	// order, preserving the stream-consumption sequence.
+	// records arrivals in order; one release event re-steps them in that
+	// same order, preserving the stream-consumption sequence. parked and
+	// releasing ping-pong: checkBarrier hands the arrivals to the
+	// release event by swapping the buffers, so re-parks during a
+	// release land in the other buffer and neither ever reallocates.
 	barPending bool
 	parked     []*warp
-	barriers   int64
+	releasing  []*warp
+	// batching is true while a barrier release batch still has warps to
+	// re-step after the current one; it pins the inline fast path off so
+	// a hitting warp cannot advance time past batch-mates that — under
+	// the per-warp release events this batch replaces — would have been
+	// pending in the queue and broken its streak.
+	batching bool
+	barriers int64
 }
 
 // warp is one resident warp's execution state. A warp has at most one
@@ -123,6 +153,10 @@ type warp struct {
 // is the *warp.
 func warpStepEvent(ctx any, _ int64) { ctx.(*warp).step() }
 
+// barrierReleaseEvent is the typed event dispatched once per completed
+// barrier; ctx is the *GPU.
+func barrierReleaseEvent(ctx any, _ int64) { ctx.(*GPU).releaseParked() }
+
 // New returns an unlaunched GPU kernel execution.
 func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
 	if cfg.Warps < 1 {
@@ -134,8 +168,10 @@ func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
 // Launch schedules all warps at the current virtual time. Run the engine
 // to completion afterwards; Done reports kernel completion.
 func (g *GPU) Launch() {
+	g.sync, _ = g.mm.(SyncMemoryManager)
 	g.warps = make([]warp, g.cfg.Warps)
 	g.parked = make([]*warp, 0, g.cfg.Warps)
+	g.releasing = make([]*warp, 0, g.cfg.Warps)
 	for i := range g.warps {
 		w := &g.warps[i]
 		w.g = g
@@ -147,29 +183,56 @@ func (g *GPU) Launch() {
 
 func (w *warp) step() {
 	g := w.g
-	if g.barPending {
-		g.parked = append(g.parked, w)
-		g.checkBarrier()
-		return
-	}
-	a, ok := g.stream.Next()
-	if !ok {
-		g.active--
-		if g.active == 0 {
-			g.finished = true
+	for {
+		if g.barPending {
+			g.parked = append(g.parked, w)
+			g.checkBarrier()
+			return
 		}
-		g.checkBarrier()
+		a, ok := g.stream.Next()
+		if !ok {
+			g.active--
+			if g.active == 0 {
+				g.finished = true
+			}
+			g.checkBarrier()
+			return
+		}
+		if a.IsBarrier() {
+			g.barPending = true
+			g.parked = append(g.parked, w)
+			g.checkBarrier()
+			return
+		}
+		g.accesses++
+		w.issued = g.eng.Now()
+		if g.sync == nil {
+			g.mm.Access(a, w.done)
+			return
+		}
+		if !g.sync.AccessSync(a, w.done) {
+			// Asynchronous path taken; accessDone resumes the warp.
+			return
+		}
+		// Inline completion: account the access exactly as accessDone
+		// would (zero stall, one compute quantum), then keep streaming —
+		// but only while the queued continuation this advance replaces
+		// would have been the next dispatch. A pending event at or
+		// before the end of the compute window breaks the streak (a tied
+		// event was scheduled earlier, so its lower sequence number wins
+		// the FIFO tie-break), as does a barrier release batch with
+		// warps still to re-step behind this one.
+		g.compute += g.cfg.ComputePerAccess
+		next := g.eng.Now() + g.cfg.ComputePerAccess
+		if !g.batching {
+			if at, ok := g.eng.Peek(); !ok || at > next {
+				g.eng.AdvanceTo(next)
+				continue
+			}
+		}
+		g.eng.AfterCall(g.cfg.ComputePerAccess, warpStepEvent, w, 0)
 		return
 	}
-	if a.IsBarrier() {
-		g.barPending = true
-		g.parked = append(g.parked, w)
-		g.checkBarrier()
-		return
-	}
-	g.accesses++
-	w.issued = g.eng.Now()
-	g.mm.Access(a, w.done)
 }
 
 // accessDone resumes the warp after its in-flight access lands.
@@ -183,16 +246,34 @@ func (w *warp) accessDone() {
 // checkBarrier releases parked warps once every still-active warp has
 // arrived. Warps that drained the stream entirely do not count toward
 // the rendezvous (a finished thread block never blocks a grid sync).
+// The release is one scheduled event re-stepping the arrivals in order,
+// not one queue entry per warp: the per-warp events always held
+// consecutive sequence numbers at a single instant, so nothing could
+// ever interleave between them and the batch dispatches identically.
 func (g *GPU) checkBarrier() {
 	if !g.barPending || len(g.parked) < g.active {
 		return
 	}
 	g.barriers++
 	g.barPending = false
-	for _, w := range g.parked {
-		g.eng.AfterCall(0, warpStepEvent, w, 0)
+	g.parked, g.releasing = g.releasing[:0], g.parked
+	g.eng.AfterCall(0, barrierReleaseEvent, g, 0)
+}
+
+// releaseParked re-steps a completed barrier's arrivals in arrival
+// order. batching marks every step but the last so hit streaks cannot
+// advance time past batch-mates; the last warp sees the true queue
+// state — its batch-mates' continuations are already scheduled — so the
+// normal streak rule applies unchanged. A warp that parks again during
+// the batch (a back-to-back barrier) lands in the other ping-pong
+// buffer, and the rendezvous it completes is released by a fresh event.
+func (g *GPU) releaseParked() {
+	rel := g.releasing
+	for i, w := range rel {
+		g.batching = i < len(rel)-1
+		w.step()
 	}
-	g.parked = g.parked[:0]
+	g.batching = false
 }
 
 // Accesses reports coalesced accesses issued so far.
@@ -216,3 +297,8 @@ type ResidentManager struct{}
 
 // Access implements MemoryManager with zero latency.
 func (ResidentManager) Access(_ Access, done func()) { done() }
+
+// AccessSync implements SyncMemoryManager: every access completes inline.
+func (ResidentManager) AccessSync(_ Access, _ func()) bool { return true }
+
+var _ SyncMemoryManager = ResidentManager{}

@@ -1,6 +1,9 @@
 // Package invariant provides build-tag-gated runtime assertions for the
 // simulator's conservation invariants: tier slot accounting, NVMe queue
-// depth bounds, PCIe bandwidth grants, and engine clock monotonicity.
+// depth bounds, PCIe bandwidth grants, engine clock monotonicity,
+// event-pool conservation, and scheduler agreement (Peek matches the
+// event step then dispatches; AdvanceTo never skips a pending event —
+// see HACKING.md, "Scheduler determinism contract").
 //
 // The checks compile to no-ops by default. Build with
 //

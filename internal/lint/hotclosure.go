@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotClosure steers hot simulator code away from the closure-based event
+// API. Engine.At and Engine.After box their func() argument into the
+// event record's any-typed slot, which allocates a closure per event on
+// every path the compiler cannot prove non-escaping; the typed variants
+// AtCall/AfterCall carry a plain function pointer plus context words and
+// ride the engine's free-listed record arena allocation-free. The
+// analyzer flags every At/After method call whose receiver is a named
+// type Engine; cold paths that genuinely want a capturing closure carry
+// a //lint:ignore hotclosure directive with the reason.
+var HotClosure = &Analyzer{
+	Name: "hotclosure",
+	Doc: "forbid closure-based Engine.At/Engine.After in hot simulator packages; " +
+		"use the typed AtCall/AfterCall variants (or //lint:ignore a cold path)",
+	Run: runHotClosure,
+}
+
+// hotClosureMethods maps the flagged methods to their typed replacements.
+var hotClosureMethods = map[string]string{
+	"At":    "AtCall",
+	"After": "AfterCall",
+}
+
+func runHotClosure(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			replace, hot := hotClosureMethods[sel.Sel.Name]
+			if !hot {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if named := namedRecv(selection.Recv()); named == nil || named.Obj().Name() != "Engine" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), fmt.Sprintf(
+				"closure-based Engine.%s in hot simulator code; use Engine.%s with a typed event function",
+				sel.Sel.Name, replace))
+			return true
+		})
+	}
+	return nil
+}
+
+// namedRecv unwraps a method receiver type (possibly a pointer) to its
+// named type, or nil.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -4,12 +4,14 @@
 // Analyzer, Pass, Diagnostic — but is built entirely on the standard
 // library's go/ast and go/types so the repo stays module-dependency-free.
 //
-// Four analyzers ship with the package:
+// Five analyzers ship with the package:
 //
 //   - norealtime:   no wall-clock time in simulation code
 //   - noglobalrand: no math/rand global-stream functions outside tests
 //   - maporder:     no order-sensitive work inside map iteration
 //   - nogoroutine:  no goroutines or channels in simulator packages
+//   - hotclosure:   no closure-based Engine.At/After in hot simulator
+//     packages; use the typed AtCall/AfterCall variants
 //
 // The driver (cmd/gmtlint) loads packages with Loader, runs analyzers
 // through Run, and honors //lint:ignore suppression comments.
@@ -59,7 +61,7 @@ func (p *Pass) Reportf(pos token.Pos, msg string) {
 
 // All returns every analyzer the suite ships, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoRealTime, NoGlobalRand, MapOrder, NoGoroutine}
+	return []*Analyzer{NoRealTime, NoGlobalRand, MapOrder, NoGoroutine, HotClosure}
 }
 
 // pkgFunc resolves a selector like time.Now to the package-level function

@@ -25,6 +25,10 @@ func TestNoGoroutine(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine")
 }
 
+func TestHotClosure(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotClosure, "hotclosure")
+}
+
 // TestSuppression checks //lint:ignore semantics through the driver: a
 // reasoned directive suppresses on its own line and the line below; a
 // reasonless directive is inert.

@@ -1,0 +1,36 @@
+// Package hotclosure exercises the hotclosure analyzer: closure-based
+// Engine.At/Engine.After calls are flagged; the typed AtCall/AfterCall
+// variants and same-named methods on other receivers are not.
+package hotclosure
+
+type Time int64
+
+// Engine mimics the simulator engine's scheduling surface; the analyzer
+// matches on the named receiver type, so a local double suffices.
+type Engine struct{}
+
+func (e *Engine) At(t Time, fn func())                                    {}
+func (e *Engine) After(d Time, fn func())                                 {}
+func (e *Engine) AtCall(t Time, fn func(any, int64), ctx any, a int64)    {}
+func (e *Engine) AfterCall(d Time, fn func(any, int64), ctx any, a int64) {}
+
+// Scheduler is the negative case: At/After on a non-Engine receiver are
+// someone else's API and stay allowed.
+type Scheduler struct{}
+
+func (s *Scheduler) At(t Time, fn func())    {}
+func (s *Scheduler) After(d Time, fn func()) {}
+
+func tick(ctx any, _ int64) {}
+
+func bad(e *Engine) {
+	e.At(10, func() {})    // want `closure-based Engine\.At in hot simulator code; use Engine\.AtCall`
+	e.After(10, func() {}) // want `closure-based Engine\.After in hot simulator code; use Engine\.AfterCall`
+}
+
+func good(e *Engine, s *Scheduler) {
+	e.AtCall(10, tick, nil, 0)
+	e.AfterCall(10, tick, nil, 0)
+	s.At(10, func() {})
+	s.After(10, func() {})
+}

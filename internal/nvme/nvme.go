@@ -167,6 +167,7 @@ func (d *Disk) Submit(cmd Command, done func(Completion)) {
 			q.InUse(), d.cfg.QueueDepth)
 		submitted := d.eng.Now()
 		// Doorbell + command fetch.
+		//lint:ignore hotclosure per-command chain capturing queue/completion state; drive latency dominates
 		d.eng.After(d.cfg.CommandOverhead, func() {
 			d.chans.Acquire(func() {
 				d.service(q, cmd, submitted, done)
@@ -193,6 +194,7 @@ func (d *Disk) service(q *sim.Server, cmd Command, submitted sim.Time, done func
 	case OpRead:
 		d.reads++
 		d.readBytes += cmd.Bytes
+		//lint:ignore hotclosure per-command chain capturing transfer state; media latency dominates
 		d.eng.After(d.cfg.ReadLatency, func() {
 			d.read.Transfer(cmd.Bytes, func() {
 				// Data crosses the drive link toward the requester.
@@ -207,6 +209,7 @@ func (d *Disk) service(q *sim.Server, cmd Command, submitted sim.Time, done func
 		// program start (write-back cache typical of consumer drives
 		// would post earlier; we post after program for conservatism).
 		d.link.Up.Transfer(cmd.Bytes, func() {
+			//lint:ignore hotclosure per-command chain capturing transfer state; media latency dominates
 			d.eng.After(d.cfg.WriteLatency, func() {
 				d.write.Transfer(cmd.Bytes, finish)
 			})

@@ -16,13 +16,28 @@
 // function plus a context pointer and an int64 argument — and allocate
 // nothing at all in steady state, which is what the per-access hot paths
 // (warp stepping, pipe completions) use. Internally both paths share one
-// representation: free-listed event records indexed by a slice-backed
-// binary heap, so no interface boxing or per-event allocation happens
-// inside the engine on either path.
+// representation: free-listed event records threaded through a
+// hierarchical timing wheel, so no interface boxing or per-event
+// allocation happens inside the engine on either path.
+//
+// # Queue discipline
+//
+// The pending set is a hierarchical timing wheel (4 levels × 256 slots
+// covering 2^32 ns beyond the cursor) with a ladder-style overflow list
+// for farther-out events. Push and pop are O(1): almost every delta the
+// simulator schedules is one of a few small constants (per-access
+// compute, per-I/O latency, link grants), so events land directly in the
+// bottom wheel and pops walk a 256-bit occupancy bitmap. Dispatch order
+// is bit-exact with a binary min-heap ordered by (time, sequence): slot
+// lists are appended in schedule order and cascades preserve it, so the
+// FIFO tie-break of simultaneous events survives every structural move
+// (see HACKING.md, "Scheduler determinism contract"; the differential
+// fuzz test in engine_diff_test.go pins the equivalence).
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/gmtsim/gmt/internal/invariant"
 )
@@ -58,6 +73,22 @@ func CallFunc(ctx any, _ int64) {
 	}
 }
 
+// Timing-wheel geometry: wheelLevels levels of wheelSlots slots each.
+// Level k buckets times by bits [k*wheelBits, (k+1)*wheelBits) relative
+// to the cursor's window, so the wheel spans 2^wheelSpan ns beyond the
+// cursor; events farther out wait in the overflow ladder.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	wheelSpan   = wheelBits * wheelLevels
+	wheelWords  = wheelSlots / 64
+)
+
+// noEvent terminates a slot's singly-linked record list.
+const noEvent int32 = -1
+
 // eventRecord is one scheduled event. Records live in a free-listed
 // arena owned by the engine: dispatch releases the record (zeroing its
 // callback references so dispatched closures become collectable) before
@@ -65,6 +96,8 @@ func CallFunc(ctx any, _ int64) {
 type eventRecord struct {
 	at  Time
 	seq int64
+	// next links the record into its wheel slot's FIFO list.
+	next int32
 
 	// Exactly one of call/fn is set: call is the typed path (with ctx
 	// and arg), fn the compatibility path.
@@ -78,11 +111,38 @@ type eventRecord struct {
 // The zero value is ready to use.
 type Engine struct {
 	now Time
-	// recs is the record arena; free lists reusable indices; heap is a
-	// binary min-heap of record indices ordered by (at, seq).
+
+	// recs is the record arena; free lists reusable indices.
 	recs []eventRecord
 	free []int32
-	heap []int32
+
+	// cur is the wheel cursor: the time of the last structural advance
+	// (a pop or an overflow rebase). Invariants: cur <= now, and every
+	// pending event's time is >= cur. Slot placement hashes an event's
+	// time against cur, so slots behind the cursor are always empty and
+	// occupancy-bitmap scans can start at bit 0.
+	cur Time
+	// head/tail index each slot's FIFO record list; occ is the per-level
+	// occupancy bitmap (the head/tail values are meaningful only while
+	// the slot's occ bit is set, which is what lets the zero value work).
+	head [wheelLevels][wheelSlots]int32
+	tail [wheelLevels][wheelSlots]int32
+	occ  [wheelLevels][wheelWords]uint64
+
+	// overflow is the ladder fallback: events beyond the wheel's span,
+	// in schedule order. They re-enter the wheel when it drains and the
+	// cursor rebases to overflowMin (the earliest overflow time).
+	overflow    []int32
+	overflowMin Time
+
+	pending int
+
+	// peekAt caches the earliest pending time (valid while peekOK).
+	// Schedules keep it fresh in O(1); pops invalidate it, and the next
+	// Peek recomputes from the bitmaps. Across a run each dispatch pays
+	// for at most one recompute, so Peek is O(1) amortized.
+	peekAt Time
+	peekOK bool
 
 	seq   int64
 	steps int64
@@ -105,7 +165,41 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() int64 { return e.steps }
 
 // Pending reports how many events are scheduled but not yet dispatched.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.pending }
+
+// Peek reports the time of the earliest pending event, without
+// dispatching or restructuring anything. It is the guard the
+// synchronous-completion fast path consults before advancing time
+// inline: AdvanceTo(t) is legal only while Peek is absent or strictly
+// later than t (see HACKING.md, "Scheduler determinism contract").
+func (e *Engine) Peek() (Time, bool) {
+	if e.pending == 0 {
+		return 0, false
+	}
+	if !e.peekOK {
+		e.peekAt = e.findMin()
+		e.peekOK = true
+	}
+	return e.peekAt, true
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// The caller must have established — via Peek — that no pending event is
+// due at or before t; violating that would let the inline advance
+// reorder the dispatch sequence, so it is asserted under -tags
+// gmtinvariants. A backwards target panics unconditionally.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo target %d behind clock %d", t, e.now))
+	}
+	if invariant.Enabled {
+		if at, ok := e.Peek(); ok {
+			invariant.Assert(at > t,
+				"sim: AdvanceTo(%d) would skip the pending event at %d", t, at)
+		}
+	}
+	e.now = t
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it always indicates a modeling bug.
@@ -141,7 +235,148 @@ func (e *Engine) schedule(t Time, call EventFunc, ctx any, arg int64, fn func())
 	r.ctx = ctx
 	r.arg = arg
 	r.fn = fn
-	e.heapPush(id)
+	e.place(id, t)
+	e.pending++
+	// Keep the cached minimum exact: a first event defines it, an
+	// earlier event lowers it, a later one cannot disturb it.
+	if e.pending == 1 || (e.peekOK && t < e.peekAt) {
+		e.peekAt = t
+		e.peekOK = true
+	}
+}
+
+// place threads record id (due at t) onto its wheel slot, or onto the
+// overflow ladder when t is beyond the wheel's span. The level is the
+// highest byte in which t differs from the cursor, so every event below
+// the current level-0 window boundary sits in the bottom wheel where its
+// slot denotes an exact instant. Appending at the tail preserves
+// schedule (sequence) order within a slot.
+func (e *Engine) place(id int32, t Time) {
+	diff := t ^ e.cur
+	if diff>>wheelSpan != 0 {
+		if len(e.overflow) == 0 || t < e.overflowMin {
+			e.overflowMin = t
+		}
+		e.overflow = append(e.overflow, id)
+		return
+	}
+	lvl := 0
+	if diff != 0 {
+		lvl = (bits.Len64(uint64(diff)) - 1) / wheelBits
+	}
+	s := int(t>>(uint(lvl)*wheelBits)) & wheelMask
+	e.recs[id].next = noEvent
+	if e.occ[lvl][s>>6]&(1<<(uint(s)&63)) != 0 {
+		e.recs[e.tail[lvl][s]].next = id
+	} else {
+		e.occ[lvl][s>>6] |= 1 << (uint(s) & 63)
+		e.head[lvl][s] = id
+	}
+	e.tail[lvl][s] = id
+}
+
+// firstSet returns the lowest set bit index of a level's occupancy
+// bitmap. Slots behind the cursor are empty by invariant, so the lowest
+// occupied slot is always the earliest.
+func firstSet(w *[wheelWords]uint64) (int, bool) {
+	for i, word := range w {
+		if word != 0 {
+			return i<<6 + bits.TrailingZeros64(word), true
+		}
+	}
+	return 0, false
+}
+
+// findMin computes the earliest pending time without mutating the
+// wheel. Levels are strictly ordered in time (everything at level k+1 is
+// later than everything at level k or below), so the first occupied
+// level decides: at level 0 a slot is an exact instant; higher up the
+// slot's list is scanned for its earliest member.
+func (e *Engine) findMin() Time {
+	if s, ok := firstSet(&e.occ[0]); ok {
+		return e.cur&^Time(wheelMask) + Time(s)
+	}
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		s, ok := firstSet(&e.occ[lvl])
+		if !ok {
+			continue
+		}
+		min := e.recs[e.head[lvl][s]].at
+		for id := e.recs[e.head[lvl][s]].next; id != noEvent; id = e.recs[id].next {
+			if at := e.recs[id].at; at < min {
+				min = at
+			}
+		}
+		return min
+	}
+	return e.overflowMin
+}
+
+// pop removes and returns the earliest pending record, advancing the
+// cursor. Level-0 pops are O(1); exhausting the bottom window cascades
+// the next occupied higher slot down (amortized O(1) per event, since
+// each event moves down at most wheelLevels-1 times), and a fully
+// drained wheel rebases onto the overflow ladder.
+func (e *Engine) pop() int32 {
+	for {
+		if s, ok := firstSet(&e.occ[0]); ok {
+			id := e.head[0][s]
+			if nxt := e.recs[id].next; nxt == noEvent {
+				e.occ[0][s>>6] &^= 1 << (uint(s) & 63)
+			} else {
+				e.head[0][s] = nxt
+			}
+			e.cur = e.cur&^Time(wheelMask) + Time(s)
+			e.pending--
+			e.peekOK = false
+			return id
+		}
+		if e.cascade() {
+			continue
+		}
+		// Ladder fallback: the wheel is empty, so nothing is pending
+		// before overflowMin and the cursor can rebase there. Replaying
+		// the ladder in schedule order re-splits it: events inside the
+		// new span enter the wheel (equal-time FIFO intact), the rest
+		// stay behind with a recomputed minimum.
+		if len(e.overflow) == 0 {
+			panic("sim: pop from an empty engine")
+		}
+		e.cur = e.overflowMin
+		ovf := e.overflow
+		e.overflow = e.overflow[:0]
+		for _, id := range ovf {
+			// In-place refill over the shared backing array is safe:
+			// when entry i is read (copied out by range) at most i
+			// entries have been re-appended, so writes trail reads.
+			e.place(id, e.recs[id].at)
+		}
+	}
+}
+
+// cascade moves the first occupied slot of the lowest non-empty level
+// down one level (or more), advancing the cursor to the slot's window
+// start. Walking the slot list in order and tail-appending keeps the
+// per-instant FIFO intact: equal-time events can only share a slot in
+// schedule order. Reports false when every level is empty.
+func (e *Engine) cascade() bool {
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		s, ok := firstSet(&e.occ[lvl])
+		if !ok {
+			continue
+		}
+		id := e.head[lvl][s]
+		e.occ[lvl][s>>6] &^= 1 << (uint(s) & 63)
+		shift := uint(lvl) * wheelBits
+		e.cur = e.cur&^(1<<(shift+wheelBits)-1) | Time(s)<<shift
+		for id != noEvent {
+			nxt := e.recs[id].next
+			e.place(id, e.recs[id].at)
+			id = nxt
+		}
+		return true
+	}
+	return false
 }
 
 // acquireRecord pops a free record index, growing the arena only when
@@ -167,58 +402,11 @@ func (e *Engine) releaseRecord(id int32) {
 	e.free = append(e.free, id)
 }
 
-// less orders record indices by (time, schedule sequence): FIFO within
-// an instant.
-func (e *Engine) less(a, b int32) bool {
-	ra, rb := &e.recs[a], &e.recs[b]
-	if ra.at != rb.at {
-		return ra.at < rb.at
-	}
-	return ra.seq < rb.seq
-}
-
-func (e *Engine) heapPush(id int32) {
-	e.heap = append(e.heap, id)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(e.heap[i], e.heap[parent]) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-func (e *Engine) heapPop() int32 {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= last {
-			break
-		}
-		m := l
-		if r := l + 1; r < last && e.less(e.heap[r], e.heap[l]) {
-			m = r
-		}
-		if !e.less(e.heap[m], e.heap[i]) {
-			break
-		}
-		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
-		i = m
-	}
-	return top
-}
-
 // Run dispatches events until none remain, advancing the clock. On
 // completion it asserts event-pool conservation (gmtinvariants builds):
 // every acquired record must have been released back to the free list.
 func (e *Engine) Run() {
-	for len(e.heap) > 0 {
+	for e.pending > 0 {
 		e.step()
 	}
 	if invariant.Enabled {
@@ -237,7 +425,10 @@ func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil target %d behind clock %d", t, e.now))
 	}
-	for len(e.heap) > 0 && e.recs[e.heap[0]].at <= t {
+	for e.pending > 0 {
+		if at, _ := e.Peek(); at > t {
+			break
+		}
 		e.step()
 	}
 	if e.now < t {
@@ -246,10 +437,18 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 func (e *Engine) step() {
-	id := e.heapPop()
+	var peeked Time
+	if invariant.Enabled {
+		peeked, _ = e.Peek()
+	}
+	id := e.pop()
 	r := &e.recs[id]
 	invariant.Assert(r.at >= e.now,
 		"sim: clock would run backwards: dispatching event at %d with clock at %d", r.at, e.now)
+	if invariant.Enabled {
+		invariant.Assert(peeked == r.at,
+			"sim: Peek promised %d but dispatch popped %d", peeked, r.at)
+	}
 	e.now = r.at
 	e.steps++
 	call, ctx, arg, fn := r.call, r.ctx, r.arg, r.fn

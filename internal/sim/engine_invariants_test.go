@@ -1,0 +1,20 @@
+//go:build gmtinvariants
+
+package sim
+
+import "testing"
+
+// TestAdvanceToSkipAssertFires pins the invariant layer's teeth: an
+// AdvanceTo past a pending event — the misuse the Peek-before-advance
+// contract exists to prevent (HACKING.md, "Scheduler determinism
+// contract") — must panic under -tags gmtinvariants.
+func TestAdvanceToSkipAssertFires(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic under gmtinvariants")
+		}
+	}()
+	e := NewEngine()
+	e.AfterCall(100, CallFunc, func() {}, 0)
+	e.AdvanceTo(200)
+}

@@ -358,8 +358,8 @@ func TestPopReleasesDispatchedEvents(t *testing.T) {
 		e.At(Time(i), func() { _ = i })
 	}
 	e.Run()
-	if len(e.heap) != 0 {
-		t.Fatalf("events remain after Run: %d", len(e.heap))
+	if e.Pending() != 0 {
+		t.Fatalf("events remain after Run: %d", e.Pending())
 	}
 	for i := range e.recs {
 		r := &e.recs[i]
@@ -455,6 +455,156 @@ func TestEnginePoolConservation(t *testing.T) {
 	}
 	if e.acquired != 200 {
 		t.Fatalf("acquired = %d, want 200", e.acquired)
+	}
+}
+
+func TestEnginePeek(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek on an empty engine reported an event")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	if at, ok := e.Peek(); !ok || at != 10 {
+		t.Fatalf("Peek = %d,%v, want 10,true", at, ok)
+	}
+	e.At(5, func() {})
+	if at, ok := e.Peek(); !ok || at != 5 {
+		t.Fatalf("Peek after earlier schedule = %d,%v, want 5,true", at, ok)
+	}
+	// Peek must not dispatch or restructure: the full run still fires
+	// everything in order.
+	var fired []Time
+	e.At(20, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if e.Steps() != 4 || e.Now() != 30 {
+		t.Fatalf("after run: steps=%d now=%d, want 4, 30", e.Steps(), e.Now())
+	}
+}
+
+// TestEnginePeekAgreesWithDispatch pins the acceptance criterion that
+// Peek and Pending agree with dispatch reality at every step.
+func TestEnginePeekAgreesWithDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	n, rescheduled := 500, 0
+	var sink EventFunc
+	sink = func(ctx any, arg int64) {
+		if n > 0 {
+			n--
+			rescheduled++
+			e.AfterCall(Time(rng.Intn(5000)), sink, nil, 0)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		e.AfterCall(Time(rng.Intn(1<<20)), sink, nil, 0)
+	}
+	for e.Pending() > 0 {
+		at, ok := e.Peek()
+		if !ok {
+			t.Fatal("Peek empty while Pending > 0")
+		}
+		before, schedBefore := e.Pending(), rescheduled
+		e.step()
+		if e.Now() != at {
+			t.Fatalf("dispatched at %d, Peek promised %d", e.Now(), at)
+		}
+		if want := before - 1 + (rescheduled - schedBefore); e.Pending() != want {
+			t.Fatalf("Pending %d -> %d across one step, want %d", before, e.Pending(), want)
+		}
+	}
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.AdvanceTo(40)
+	if e.Now() != 40 {
+		t.Fatalf("Now = %d, want 40", e.Now())
+	}
+	e.AdvanceTo(40) // idempotent
+	e.Run()
+	if e.Now() != 100 || e.Steps() != 1 {
+		t.Fatalf("after run: now=%d steps=%d", e.Now(), e.Steps())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards AdvanceTo did not panic")
+		}
+	}()
+	e.AdvanceTo(99)
+}
+
+// TestEngineFarEvents exercises the overflow ladder: events beyond the
+// wheel's span (2^32 ns past the cursor) must still dispatch in exact
+// time-then-FIFO order, including equal-time pairs straddling the
+// rebase.
+func TestEngineFarEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	const far = Time(1) << 40
+	e.At(far+5, func() { got = append(got, 4) })
+	e.At(3, func() { got = append(got, 1) })
+	e.At(far+5, func() { got = append(got, 5) }) // same instant, FIFO after 4
+	e.At(far, func() { got = append(got, 3) })
+	e.At(1<<33, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("far-event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != far+5 {
+		t.Fatalf("Now = %d, want %d", e.Now(), far+5)
+	}
+}
+
+// TestEngineCascadeFIFO pins FIFO preservation across cascades: events
+// at one instant far enough out to start life in an upper wheel level
+// must still fire in scheduling order after migrating down.
+func TestEngineCascadeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	const at = Time(3)<<24 | Time(5)<<16 | Time(7)<<8 | 9 // occupies all levels
+	for i := 0; i < 64; i++ {
+		i := i
+		e.At(at, func() { got = append(got, i) })
+		// Interleave other instants in the same upper-level slots so the
+		// cascade has to split mixed lists.
+		e.At(at+Time(i%3)+1, func() {})
+	}
+	e.Run()
+	if len(got) != 64 {
+		t.Fatalf("fired %d of 64", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("cascade broke FIFO: %v", got)
+		}
+	}
+}
+
+// TestEngineRunUntilAcrossWindows stops between events that live in
+// different wheel levels and verifies nothing beyond the target fires.
+func TestEngineRunUntilAcrossWindows(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	times := []Time{1, 200, 70_000, 20_000_000, 1 << 34}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(70_000)
+	if len(fired) != 3 || e.Now() != 70_000 {
+		t.Fatalf("fired=%v now=%d, want 3 events and now=70000", fired, e.Now())
+	}
+	if at, ok := e.Peek(); !ok || at != 20_000_000 {
+		t.Fatalf("Peek = %d,%v, want 20000000,true", at, ok)
+	}
+	e.Run()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d of %d after Run", len(fired), len(times))
 	}
 }
 

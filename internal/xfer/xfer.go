@@ -191,6 +191,7 @@ func (e *Engine) MovePage(up bool, threads int, done func()) {
 		// The launch serializes on the copy engine; data then streams
 		// on the link.
 		e.dma.Acquire(func() {
+			//lint:ignore hotclosure per-move chain capturing the pipe and finish; copy time dominates
 			e.eng.After(e.cfg.DMALaunch, func() {
 				e.dma.Release()
 				pipe.Transfer(e.cfg.PageSize, finish)
@@ -203,6 +204,7 @@ func (e *Engine) MovePage(up bool, threads int, done func()) {
 		// page, at reduced rate if under-provisioned.
 		share := e.cfg.PinOverhead / sim.Time(batch)
 		rate := e.link.BytesPerSecond() * int64(threads) / int64(e.cfg.WarpThreads)
+		//lint:ignore hotclosure per-move chain capturing the pipe and rate; transfer time dominates
 		e.eng.After(share, func() {
 			pipe.TransferLimited(e.cfg.PageSize, rate, finish)
 		})
