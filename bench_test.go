@@ -12,6 +12,7 @@ package gmt
 // gmtbench command runs the same drivers at any scale.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -58,7 +59,10 @@ func BenchmarkParallelPrewarm(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSuite(benchScale())
-		rep := exp.Prewarm(s, []string{"fig8"}, workers, nil)
+		rep, err := exp.Prewarm(context.Background(), s, []string{"fig8"}, workers, nil)
+		if err != nil {
+			b.Fatalf("prewarm failed: %v", err)
+		}
 		reportFig8(b, s)
 		b.ReportMetric(float64(rep.Sims), "prewarm_sims")
 		b.ReportMetric(float64(rep.JobsPlanned), "prewarm_jobs")

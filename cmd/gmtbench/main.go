@@ -37,6 +37,10 @@
 //	-cpuprofile P  write a CPU profile (pprof) to P
 //	-memprofile P  write an allocation profile (pprof) to P
 //	-trace P       write a runtime execution trace to P
+//	-timeout D   deadline for the prewarm phase, observed between pool
+//	             jobs (an in-progress simulation finishes); on expiry
+//	             gmtbench exits 1 without rendering
+//	-version     print the build's module version and VCS info, then exit
 //
 // Profiles are finalized when the run completes successfully; the
 // simulator packages themselves are banned from runtime/pprof (the
@@ -45,6 +49,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,10 +60,10 @@ import (
 	"runtime/trace"
 	"time"
 
+	"github.com/gmtsim/gmt/internal/buildinfo"
 	"github.com/gmtsim/gmt/internal/exp"
 	"github.com/gmtsim/gmt/internal/plot"
 	"github.com/gmtsim/gmt/internal/workload"
-	"github.com/gmtsim/gmt/internal/xfer"
 )
 
 // benchReport is the -benchjson output (schema gmt-bench-suite/v1).
@@ -139,7 +144,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this path")
+	timeout := flag.Duration("timeout", 0,
+		"deadline for the prewarm phase; on expiry remaining jobs are skipped and gmtbench exits 1")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("gmtbench", buildinfo.Version())
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -198,102 +211,18 @@ func main() {
 		return suite
 	}
 
-	// Each experiment yields its typed rows (for -json) and rendered
-	// text.
-	run := map[string]func() (interface{}, string){
-		"table1": func() (interface{}, string) {
-			r, t := exp.Table1(getSuite())
-			return r, t.Render()
-		},
-		"table2": func() (interface{}, string) {
-			r, t := exp.Table2(getSuite())
-			return r, t.Render()
-		},
-		"fig4": func() (interface{}, string) {
-			r, t := exp.Figure4(getSuite())
-			return r, t.Render()
-		},
-		"fig6": func() (interface{}, string) {
-			ra, ta := exp.Figure6a(xfer.DefaultConfig())
-			rb, tb := exp.Figure6b(xfer.DefaultConfig())
-			writeSVG("fig6b", exp.Figure6bSVG(rb))
-			return map[string]interface{}{"a": ra, "b": rb}, ta.Render() + "\n" + tb.Render()
-		},
-		"fig7": func() (interface{}, string) {
-			r, t := exp.Figure7(getSuite())
-			return r, t.Render()
-		},
-		"fig8": func() (interface{}, string) {
-			r, t := exp.Figure8(getSuite())
-			writeSVG("fig8a", exp.Figure8SVG(r))
-			return r, t.Render()
-		},
-		"fig9": func() (interface{}, string) {
-			r, t := exp.Figure9(getSuite())
-			writeSVG("fig9", exp.Figure9SVG(r))
-			return r, t.Render()
-		},
-		"fig10": func() (interface{}, string) {
-			r, t := exp.Figure10(getSuite())
-			return r, t.Render()
-		},
-		"fig11": func() (interface{}, string) {
-			r, t := exp.Figure11(getSuite())
-			return r, t.Render()
-		},
-		"fig12": func() (interface{}, string) {
-			r, t := exp.Figure12(getSuite())
-			writeSVG("fig12", exp.Figure12SVG(r))
-			return r, t.Render()
-		},
-		"fig13": func() (interface{}, string) {
-			r, t := exp.Figure13(getSuite())
-			return r, t.Render()
-		},
-		"fig14": func() (interface{}, string) {
-			r, t := exp.Figure14(getSuite())
-			writeSVG("fig14", exp.Figure14SVG(r))
-			return r, t.Render()
-		},
-		"oracle": func() (interface{}, string) {
-			r, t := exp.OracleGap(getSuite())
-			return r, t.Render()
-		},
-		"ext": func() (interface{}, string) {
-			r, t := exp.Extensions(getSuite())
-			return r, t.Render()
-		},
-		"ssd": func() (interface{}, string) {
-			rows, t := exp.SSDSensitivity(getSuite())
-			counts, t2 := exp.SSDCountSweep(getSuite())
-			writeSVG("ssd", exp.SSDSensitivitySVG(rows))
-			text := t.Render() + "\n" + exp.SSDScalingChart(rows) + "\n" + t2.Render()
-			return map[string]interface{}{"generations": rows, "drives": counts}, text
-		},
-		"predictors": func() (interface{}, string) {
-			r, t := exp.PredictorAblation(getSuite())
-			return r, t.Render()
-		},
-		"warmup": func() (interface{}, string) {
-			r, t := exp.RegressionWarmup(getSuite())
-			return r, t.Render()
-		},
-		"util": func() (interface{}, string) {
-			r, t := exp.Utilization(getSuite())
-			return r, t.Render()
-		},
-	}
 	order := exp.ExperimentNames
 
 	// Expand "all" and validate names up front, so the planner sees the
-	// complete job set before any worker starts.
+	// complete job set before any worker starts. Dispatch itself lives in
+	// exp.RunExperiment, shared with the gmtd daemon.
 	var experiments []string
 	for _, name := range flag.Args() {
 		if name == "all" {
 			experiments = append(experiments, order...)
 			continue
 		}
-		if _, ok := run[name]; !ok {
+		if !exp.KnownExperiment(name) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v or 'all'\n", name, order)
 			os.Exit(2)
 		}
@@ -311,18 +240,35 @@ func main() {
 
 	needsSuite := false
 	for _, name := range experiments {
-		if name != "fig6" {
+		if exp.NeedsSuite(name) {
 			needsSuite = true
 		}
 	}
 
+	// -timeout bounds the prewarm phase through the pool's context path:
+	// workers observe the deadline between jobs, so expiry stops the run
+	// at job granularity. Forcing the prewarm path even at -parallel 1
+	// keeps the flag meaningful for sequential runs.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var prewarm *exp.Report
 	var prewarmMem benchMem
-	if *parallel > 1 && needsSuite {
+	if (*parallel > 1 || *timeout > 0) && needsSuite {
 		var rep exp.Report
+		var perr error
 		prewarmMem = measureMem(func() {
-			rep = exp.Prewarm(getSuite(), experiments, *parallel, clock)
+			rep, perr = exp.Prewarm(ctx, getSuite(), experiments, *parallel, clock)
 		})
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "gmtbench: prewarm aborted after %d jobs: %v\n",
+				rep.JobsPlanned, perr)
+			os.Exit(1)
+		}
 		prewarm = &rep
 		if !*jsonOut {
 			fmt.Printf("prewarmed %d jobs on %d workers: %d simulations, %d memo hits [%v]\n\n",
@@ -331,22 +277,21 @@ func main() {
 		}
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
+	var svgSink exp.SVGSink
+	if *svgDir != "" {
+		svgSink = writeSVG
+	}
 	var timings []benchExperiment
-	execute := func(name string, fn func() (interface{}, string)) {
+	execute := func(name string) {
 		start := time.Now()
 		var rows interface{}
 		var text string
-		mem := measureMem(func() { rows, text = fn() })
+		mem := measureMem(func() { rows, text, _ = exp.RunExperiment(getSuite, name, svgSink) })
 		timings = append(timings, benchExperiment{
 			Name: name, WallMS: ms(time.Since(start)), benchMem: mem,
 		})
 		if *jsonOut {
-			if err := enc.Encode(map[string]interface{}{
-				"experiment": name,
-				"rows":       rows,
-			}); err != nil {
+			if err := exp.EncodeExperiment(os.Stdout, name, rows); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -357,7 +302,7 @@ func main() {
 	}
 
 	for _, name := range experiments {
-		execute(name, run[name])
+		execute(name)
 	}
 
 	var micro []benchMicro

@@ -1,0 +1,108 @@
+// Command gmtd is the simulation-serving daemon: a long-running HTTP
+// front end over the same deterministic engine the CLIs drive. It
+// accepts single-run jobs (à la gmtsim) and named experiments (à la
+// gmtbench -json), executes them on a bounded worker pool, caches
+// results by content address, and drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	gmtd [flags]
+//
+// Flags:
+//
+//	-addr A          listen address (default 127.0.0.1:8044; port 0
+//	                 picks a free port and prints it)
+//	-workers N       concurrent job executors (default 2)
+//	-queue N         admitted-but-unstarted job bound; beyond it
+//	                 submissions get 429 + Retry-After (default 64)
+//	-job-parallel N  exp pool workers inside one experiment job (default 1)
+//	-cache N         finished jobs retained as the result cache (default 256)
+//	-version         print version and exit
+//
+// API (JSON unless noted):
+//
+//	POST /v1/jobs                submit; 202 queued, 200 cached/joined,
+//	                             429 queue full, 503 draining
+//	GET  /v1/jobs/{id}           poll status
+//	GET  /v1/jobs/{id}/result    raw result payload — for experiment
+//	                             jobs, the exact bytes of
+//	                             `gmtbench -json <name>`
+//	GET  /healthz                200 serving / 503 draining
+//	GET  /metrics                Prometheus text exposition
+//
+// On SIGTERM/SIGINT the daemon stops admitting, finishes every
+// admitted job, keeps poll/result/metrics answering while it does, and
+// only then closes the listener.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gmtsim/gmt/internal/buildinfo"
+	"github.com/gmtsim/gmt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8044", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	jobParallel := flag.Int("job-parallel", 1, "exp pool workers inside one experiment job")
+	cache := flag.Int("cache", 256, "finished jobs retained as the result cache")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("gmtd", buildinfo.Version())
+		return
+	}
+
+	// internal/serve is banned from reading wall time (norealtime); the
+	// binary injects a monotonic nanosecond clock anchored at startup.
+	start := time.Now()
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobParallelism: *jobParallel,
+		CacheEntries:   *cache,
+		Clock:          func() int64 { return int64(time.Since(start)) },
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmtd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: s}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "gmtd: %v: draining (finishing admitted jobs, rejecting new)\n", sig)
+		s.Drain()
+		// The listener stays up through the drain so clients can fetch
+		// the results of jobs that were in flight; give pollers a grace
+		// window, then close.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Printf("gmtd: listening on %s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "gmtd:", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "gmtd: drained, bye")
+}

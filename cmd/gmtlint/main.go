@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/gmtsim/gmt/internal/buildinfo"
 	"github.com/gmtsim/gmt/internal/lint"
 )
 
@@ -61,6 +62,10 @@ var hotPackages = map[string]bool{
 
 func main() {
 	patterns := os.Args[1:]
+	if len(patterns) == 1 && (patterns[0] == "-version" || patterns[0] == "--version") {
+		fmt.Println("gmtlint", buildinfo.Version())
+		return
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/gmtsim/gmt"
+	"github.com/gmtsim/gmt/internal/buildinfo"
 )
 
 func main() {
@@ -36,14 +37,16 @@ func main() {
 	traceFile := flag.String("trace", "", "run a gmt-trace file instead of a named app")
 	async := flag.Bool("async-evict", false, "background Tier-1->Tier-2 placements (§5 extension)")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch degree")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	policies := map[string]gmt.Policy{
-		"bam": gmt.BaM, "tierorder": gmt.TierOrder, "random": gmt.Random,
-		"reuse": gmt.Reuse, "hmm": gmt.HMM, "oracle": gmt.Oracle,
+	if *version {
+		fmt.Println("gmtsim", buildinfo.Version())
+		return
 	}
-	p, ok := policies[strings.ToLower(*policy)]
-	if !ok {
+
+	p, err := gmt.ParsePolicy(*policy)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(2)
 	}

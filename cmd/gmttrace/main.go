@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/gmtsim/gmt"
+	"github.com/gmtsim/gmt/internal/buildinfo"
 )
 
 func main() {
@@ -32,7 +33,13 @@ func main() {
 	head := flag.Int("head", 0, "print the first N accesses")
 	out := flag.String("out", "", "write the selected app's trace to this file")
 	file := flag.String("file", "", "analyze a gmt-trace file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("gmttrace", buildinfo.Version())
+		return
+	}
 
 	if *file != "" {
 		f, err := os.Open(*file)

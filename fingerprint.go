@@ -1,0 +1,80 @@
+package gmt
+
+// Config fingerprinting and JSON round-tripping: the serving layer
+// (cmd/gmtd, internal/serve) content-addresses results by what they
+// were computed from, and exchanges Config/Result as JSON over HTTP.
+// The engine is deterministic — identical configs produce byte-identical
+// results — so an equal fingerprint is a correctness-preserving cache
+// key, not a heuristic.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// policyNames maps each Policy to its canonical String() form; parsing
+// also accepts the lowercase short aliases the CLIs use (bam,
+// tierorder, random, reuse, hmm, oracle).
+var policyNames = []Policy{BaM, TierOrder, Random, Reuse, HMM, Oracle}
+
+// ParsePolicy resolves a policy from its canonical name ("GMT-Reuse"),
+// case-insensitively, or from the short CLI alias ("reuse").
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range policyNames {
+		if strings.EqualFold(s, p.String()) ||
+			strings.EqualFold(s, strings.TrimPrefix(p.String(), "GMT-")) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("gmt: unknown policy %q", s)
+}
+
+// MarshalJSON encodes the policy as its canonical name, so configs are
+// self-describing on the wire and across releases (the integer values
+// are an internal ordering, not a stable protocol).
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts the canonical name, a short alias, or (for
+// compatibility with hand-written payloads) the bare integer.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, perr := ParsePolicy(s)
+		if perr != nil {
+			return perr
+		}
+		*p = parsed
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("gmt: policy must be a name or integer, got %s", data)
+	}
+	if n < int(BaM) || n > int(Oracle) {
+		return fmt.Errorf("gmt: policy %d out of range", n)
+	}
+	*p = Policy(n)
+	return nil
+}
+
+// Fingerprint content-addresses the configuration: a hex-encoded
+// SHA-256 of the canonical JSON encoding. Two configs with equal
+// fingerprints produce byte-identical results for the same workload
+// (the simulation is deterministic), which is what makes the daemon's
+// result cache sound. Zero-valued and defaulted fields hash
+// identically only if the structs are identical — Fingerprint hashes
+// the configuration as given, it does not normalize defaults.
+func (c Config) Fingerprint() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("gmt: marshaling Config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,144 @@
+package gmt
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPolicyJSONRoundTrip: every policy survives Marshal → Unmarshal,
+// and the wire form is the canonical name.
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	for _, p := range []Policy{BaM, TierOrder, Random, Reuse, HMM, Oracle} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		if string(data) != `"`+p.String()+`"` {
+			t.Fatalf("policy %v marshaled to %s, want its canonical name", p, data)
+		}
+		var back Policy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed %v to %v", p, back)
+		}
+	}
+}
+
+func TestPolicyUnmarshalForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+	}{
+		{`"GMT-Reuse"`, Reuse},
+		{`"reuse"`, Reuse},
+		{`"BAM"`, BaM},
+		{`"tierorder"`, TierOrder},
+		{`3`, Reuse}, // legacy integer form
+	}
+	for _, c := range cases {
+		var p Policy
+		if err := json.Unmarshal([]byte(c.in), &p); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if p != c.want {
+			t.Fatalf("unmarshal %s = %v, want %v", c.in, p, c.want)
+		}
+	}
+	var p Policy
+	if err := json.Unmarshal([]byte(`"belady"`), &p); err == nil {
+		t.Fatal("unknown policy name unmarshaled without error")
+	}
+	if err := json.Unmarshal([]byte(`99`), &p); err == nil {
+		t.Fatal("out-of-range policy integer unmarshaled without error")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"bam": BaM, "BaM": BaM, "tierorder": TierOrder, "GMT-TierOrder": TierOrder,
+		"random": Random, "reuse": Reuse, "hmm": HMM, "oracle": Oracle,
+		"GMT-Oracle": Oracle,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("lru"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+}
+
+// TestConfigJSONRoundTrip: a fully populated Config survives the wire.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Oracle
+	cfg.Seed = 42
+	cfg.SampleTarget = 512
+	cfg.AsyncEviction = true
+	cfg.PrefetchDegree = 4
+	cfg.HistorySample = 1000
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip changed the config:\n got %+v\nwant %+v", back, cfg)
+	}
+}
+
+// TestResultJSONRoundTrip: Result (including History) survives the wire.
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tier1Pages, cfg.Tier2Pages = 64, 256
+	cfg.HistorySample = 500
+	var w Workload
+	for _, cand := range Suite(Scale{Tier1Pages: 64, Tier2Pages: 256, Oversubscription: 2}) {
+		if cand.Name() == "MultiVectorAdd" {
+			w = cand
+		}
+	}
+	res := Run(cfg, w)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatalf("Result did not round trip:\n first %s\nsecond %s", data, again)
+	}
+}
+
+// TestConfigFingerprint: equal configs share a fingerprint; any knob
+// change moves it.
+func TestConfigFingerprint(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs produced different fingerprints")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", a.Fingerprint())
+	}
+	b.Seed = 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("changing Seed did not change the fingerprint")
+	}
+	b = DefaultConfig()
+	b.Policy = BaM
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("changing Policy did not change the fingerprint")
+	}
+}

@@ -1,0 +1,57 @@
+// Package buildinfo derives a human-readable version string for the
+// repository's binaries from the data the Go toolchain embeds at build
+// time (runtime/debug.ReadBuildInfo): module version, VCS revision and
+// dirty flag, and the Go toolchain version. Every cmd/ binary exposes
+// it behind a -version flag.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version reports the binary's version: the module version when the
+// binary was built from a tagged module, otherwise the VCS revision
+// (with a "-dirty" suffix for modified trees), plus the Go toolchain
+// version. Falls back to "unknown" when the runtime carries no build
+// info (e.g. some test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return versionFrom(bi)
+}
+
+// versionFrom is the testable core of Version.
+func versionFrom(bi *debug.BuildInfo) string {
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	parts := []string{}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		parts = append(parts, v)
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "-dirty"
+		}
+		parts = append(parts, rev)
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "devel")
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	return strings.Join(parts, " ")
+}

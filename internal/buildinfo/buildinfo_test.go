@@ -1,0 +1,55 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionNeverEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}
+
+func TestVersionFrom(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   debug.BuildInfo
+		want string
+	}{
+		{
+			name: "tagged module",
+			bi: debug.BuildInfo{
+				GoVersion: "go1.22.0",
+				Main:      debug.Module{Version: "v1.2.3"},
+			},
+			want: "v1.2.3 go1.22.0",
+		},
+		{
+			name: "devel with dirty vcs",
+			bi: debug.BuildInfo{
+				GoVersion: "go1.22.0",
+				Main:      debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			want: "0123456789ab-dirty go1.22.0",
+		},
+		{
+			name: "no info at all",
+			bi:   debug.BuildInfo{},
+			want: "devel",
+		},
+	}
+	for _, c := range cases {
+		if got := versionFrom(&c.bi); got != c.want {
+			t.Errorf("%s: versionFrom = %q, want %q", c.name, got, c.want)
+		}
+	}
+	if strings.Contains(versionFrom(&debug.BuildInfo{GoVersion: "go1.22.0"}), "(devel)") {
+		t.Error("versionFrom leaked the (devel) placeholder")
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,7 +41,10 @@ func TestParallelPrewarmByteIdentical(t *testing.T) {
 	render := func(workers int) string {
 		s := NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
 		if workers > 1 {
-			rep := Prewarm(s, experiments, workers, nil)
+			rep, err := Prewarm(context.Background(), s, experiments, workers, nil)
+			if err != nil {
+				t.Fatalf("prewarm failed: %v", err)
+			}
 			if rep.JobsPlanned == 0 {
 				t.Fatal("parallel prewarm planned no jobs")
 			}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/gmtsim/gmt/internal/plot"
+	"github.com/gmtsim/gmt/internal/xfer"
+)
+
+// This file is the single dispatch point for named experiments: both
+// cmd/gmtbench and the serving daemon (internal/serve via cmd/gmtd) run
+// experiments through RunExperiment and encode rows through
+// EncodeExperiment, so a result served over HTTP is byte-identical to
+// the same experiment printed by `gmtbench -json`.
+
+// SVGSink receives each figure an experiment renders as SVG. A nil sink
+// skips SVG rendering entirely.
+type SVGSink func(name string, f *plot.Figure)
+
+// KnownExperiment reports whether name is one of ExperimentNames.
+func KnownExperiment(name string) bool {
+	for _, n := range ExperimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsSuite reports whether the experiment requires workload
+// simulations (everything except the configuration-only Figure 6).
+func NeedsSuite(name string) bool { return name != "fig6" }
+
+// RunExperiment executes one named experiment and returns its typed
+// rows (what -json and the daemon serve) plus the rendered text tables.
+// getSuite is called lazily so configuration-only experiments (fig6)
+// never pay for workload construction. ok is false for unknown names.
+func RunExperiment(getSuite func() *Suite, name string, svg SVGSink) (rows interface{}, text string, ok bool) {
+	if svg == nil {
+		svg = func(string, *plot.Figure) {}
+	}
+	switch name {
+	case "table1":
+		r, t := Table1(getSuite())
+		return r, t.Render(), true
+	case "table2":
+		r, t := Table2(getSuite())
+		return r, t.Render(), true
+	case "fig4":
+		r, t := Figure4(getSuite())
+		return r, t.Render(), true
+	case "fig6":
+		ra, ta := Figure6a(xfer.DefaultConfig())
+		rb, tb := Figure6b(xfer.DefaultConfig())
+		svg("fig6b", Figure6bSVG(rb))
+		return map[string]interface{}{"a": ra, "b": rb}, ta.Render() + "\n" + tb.Render(), true
+	case "fig7":
+		r, t := Figure7(getSuite())
+		return r, t.Render(), true
+	case "fig8":
+		r, t := Figure8(getSuite())
+		svg("fig8a", Figure8SVG(r))
+		return r, t.Render(), true
+	case "fig9":
+		r, t := Figure9(getSuite())
+		svg("fig9", Figure9SVG(r))
+		return r, t.Render(), true
+	case "fig10":
+		r, t := Figure10(getSuite())
+		return r, t.Render(), true
+	case "fig11":
+		r, t := Figure11(getSuite())
+		return r, t.Render(), true
+	case "fig12":
+		r, t := Figure12(getSuite())
+		svg("fig12", Figure12SVG(r))
+		return r, t.Render(), true
+	case "fig13":
+		r, t := Figure13(getSuite())
+		return r, t.Render(), true
+	case "fig14":
+		r, t := Figure14(getSuite())
+		svg("fig14", Figure14SVG(r))
+		return r, t.Render(), true
+	case "oracle":
+		r, t := OracleGap(getSuite())
+		return r, t.Render(), true
+	case "ext":
+		r, t := Extensions(getSuite())
+		return r, t.Render(), true
+	case "ssd":
+		gens, t := SSDSensitivity(getSuite())
+		counts, t2 := SSDCountSweep(getSuite())
+		svg("ssd", SSDSensitivitySVG(gens))
+		text := t.Render() + "\n" + SSDScalingChart(gens) + "\n" + t2.Render()
+		return map[string]interface{}{"generations": gens, "drives": counts}, text, true
+	case "predictors":
+		r, t := PredictorAblation(getSuite())
+		return r, t.Render(), true
+	case "warmup":
+		r, t := RegressionWarmup(getSuite())
+		return r, t.Render(), true
+	case "util":
+		r, t := Utilization(getSuite())
+		return r, t.Render(), true
+	}
+	return nil, "", false
+}
+
+// EncodeExperiment writes the canonical JSON encoding of one
+// experiment's rows: the exact bytes `gmtbench -json` prints and the
+// daemon serves, so the two can be diffed directly.
+func EncodeExperiment(w io.Writer, name string, rows interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]interface{}{
+		"experiment": name,
+		"rows":       rows,
+	})
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -37,7 +38,19 @@ type Report struct {
 // wall time (cmd/gmtbench passes a monotonic nanosecond clock); a nil
 // clock leaves all timings zero. A job panic is re-raised here after
 // the pool drains.
-func Prewarm(s *Suite, experiments []string, workers int, clock func() int64) Report {
+//
+// Cancelling ctx stops the pool at job granularity: workers observe the
+// cancellation before claiming their next job (an in-progress
+// simulation always runs to completion — the simulator packages are
+// single-goroutine and uninterruptible by design), remaining jobs and
+// phases are skipped, and Prewarm returns ctx.Err(). A cancelled
+// prewarm leaves the suite memo consistent — every committed result is
+// complete — so the same suite can be prewarmed again or rendered
+// directly afterwards.
+func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, clock func() int64) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -47,7 +60,11 @@ func Prewarm(s *Suite, experiments []string, workers int, clock func() int64) Re
 	rep := Report{Workers: workers}
 	sims0, hits0 := s.Counters()
 	start := clock()
+	var err error
 	for _, ph := range Plan(s, experiments) {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		jobs := ph.Jobs
 		if ph.More != nil {
 			jobs = append(jobs, ph.More()...)
@@ -56,23 +73,30 @@ func Prewarm(s *Suite, experiments []string, workers int, clock func() int64) Re
 			continue
 		}
 		phaseStart := clock()
-		rep.BusyNS += runJobs(jobs, workers, clock)
+		busy, jerr := runJobs(ctx, jobs, workers, clock)
+		rep.BusyNS += busy
 		rep.Phases = append(rep.Phases, PhaseReport{
 			Name: ph.Name, Jobs: len(jobs), WallNS: clock() - phaseStart,
 		})
 		rep.JobsPlanned += len(jobs)
+		if jerr != nil {
+			err = jerr
+			break
+		}
 	}
 	rep.WallNS = clock() - start
 	sims1, hits1 := s.Counters()
 	rep.Sims, rep.CacheHits = sims1-sims0, hits1-hits0
-	return rep
+	return rep, err
 }
 
 // runJobs drains the job list on a bounded worker pool and returns the
 // summed per-job busy time. The first job panic is captured and
 // re-raised after all workers exit, so a failed simulation surfaces the
-// same way it would sequentially.
-func runJobs(jobs []Job, workers int, clock func() int64) int64 {
+// same way it would sequentially. Workers check ctx before claiming
+// each job; on cancellation the remaining jobs are skipped, already
+// started jobs finish, and ctx.Err() is returned after the pool drains.
+func runJobs(ctx context.Context, jobs []Job, workers int, clock func() int64) (int64, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -88,7 +112,7 @@ func runJobs(jobs []Job, workers int, clock func() int64) int64 {
 					panics <- r
 				}
 			}()
-			for {
+			for ctx.Err() == nil {
 				n := atomic.AddInt64(&next, 1) - 1
 				if n >= int64(len(jobs)) {
 					return
@@ -104,5 +128,5 @@ func runJobs(jobs []Job, workers int, clock func() int64) int64 {
 	if r := <-panics; r != nil {
 		panic(r)
 	}
-	return atomic.LoadInt64(&busy)
+	return atomic.LoadInt64(&busy), ctx.Err()
 }

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// TestRunJobsObservesCancellation: cancelling the context mid-run stops
+// workers at job granularity — jobs claimed after the cancel never run —
+// and runJobs reports the context error after the pool drains.
+func TestRunJobsObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int64
+	jobs := make([]Job, 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("job%d", i), Run: func() {
+			if i == 0 {
+				cancel()
+			}
+			atomic.AddInt64(&ran, 1)
+		}}
+	}
+	_, err := runJobs(ctx, jobs, 2, func() int64 { return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("runJobs error = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n >= int64(len(jobs)) {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+// TestPrewarmCancelledPoolReusable is the cancellation regression gate:
+// a cancelled Prewarm returns promptly with the context error, and the
+// same suite then supports a fresh Prewarm plus rendering whose output
+// is byte-identical to a never-cancelled sequential run — a cancelled
+// pool leaves no half-committed memo state behind.
+func TestPrewarmCancelledPoolReusable(t *testing.T) {
+	scale := workload.Scale{Tier1Pages: 128, Tier2Pages: 512, Oversubscription: 2}
+
+	sequential := func() string {
+		s := NewSuite(scale)
+		rows, tbl := Figure8(s)
+		return tbl.Render() + fmt.Sprintf("%#v", rows)
+	}()
+
+	s := NewSuite(scale)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the pool must not execute anything new
+	rep, err := Prewarm(ctx, s, []string{"fig8"}, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Prewarm error = %v, want context.Canceled", err)
+	}
+	if rep.Sims != 0 {
+		t.Fatalf("cancelled-before-start Prewarm executed %d simulations", rep.Sims)
+	}
+
+	// The pool is per-call state: a fresh context on the same suite must
+	// complete normally...
+	rep2, err := Prewarm(context.Background(), s, []string{"fig8"}, 2, nil)
+	if err != nil {
+		t.Fatalf("second Prewarm on the same suite failed: %v", err)
+	}
+	if rep2.JobsPlanned == 0 || rep2.Sims == 0 {
+		t.Fatalf("second Prewarm did nothing: %+v", rep2)
+	}
+	// ...and rendering must match the sequential baseline byte for byte.
+	rows, tbl := Figure8(s)
+	if got := tbl.Render() + fmt.Sprintf("%#v", rows); got != sequential {
+		t.Fatal("rendering after a cancelled+retried prewarm diverged from the sequential run")
+	}
+}

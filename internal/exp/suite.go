@@ -79,10 +79,12 @@ func NewRegularSuite(scale workload.Scale) *Suite {
 // Apps reports the suite's workloads.
 func (s *Suite) Apps() []workload.Workload { return s.apps }
 
-// fingerprint identifies the mutable knobs results depend on. It is part
-// of every memo key, so stale results can never be returned after a
-// caller changes Seed or GPU (they are simply not found).
-func (s *Suite) fingerprint() string {
+// Fingerprint identifies the mutable knobs results depend on. It is
+// part of every memo key, so stale results can never be returned after
+// a caller changes Seed or GPU (they are simply not found). The serving
+// layer (internal/serve) reuses it as the content address of cached
+// responses, so a daemon cache hit is exactly a memo hit one level up.
+func (s *Suite) Fingerprint() string {
 	return fmt.Sprintf("@seed=%d,gpu=%+v,scale=%+v", s.Seed, s.GPU, s.Scale)
 }
 
@@ -129,7 +131,7 @@ func (s *Suite) Trace(w workload.Workload) []gpu.Access {
 // key; others requesting it block until the result is committed. If the
 // computer panics, waiters retry (and typically re-panic the same way).
 func (s *Suite) memoRun(key string, compute func() stats.Run) stats.Run {
-	full := key + s.fingerprint()
+	full := key + s.Fingerprint()
 	for {
 		s.mu.Lock()
 		if r, ok := s.results[full]; ok {
@@ -168,7 +170,7 @@ func (s *Suite) memoRun(key string, compute func() stats.Run) stats.Run {
 // current fingerprint (used by drivers whose simulations need more than
 // the Run snapshot, e.g. RegressionWarmup's history inspection).
 func (s *Suite) storeResult(key string, m stats.Run) {
-	full := key + s.fingerprint()
+	full := key + s.Fingerprint()
 	s.mu.Lock()
 	s.results[full] = m
 	s.sims++

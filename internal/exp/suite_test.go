@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -126,7 +127,10 @@ func TestPrewarmCoversRendering(t *testing.T) {
 	// history the memo doesn't carry, so they always run at render time.
 	exps := []string{"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "oracle", "ext", "ssd", "predictors", "util"}
-	rep := Prewarm(s, exps, 3, nil)
+	rep, err := Prewarm(context.Background(), s, exps, 3, nil)
+	if err != nil {
+		t.Fatalf("prewarm failed: %v", err)
+	}
 	if rep.JobsPlanned == 0 || rep.Sims == 0 {
 		t.Fatalf("prewarm did nothing: %+v", rep)
 	}
@@ -163,7 +167,7 @@ func TestRunJobsPanicPropagates(t *testing.T) {
 		}
 	}()
 	zero := func() int64 { return 0 }
-	runJobs([]Job{
+	runJobs(context.Background(), []Job{
 		{Key: "ok", Run: func() {}},
 		{Key: "bad", Run: func() { panic("boom") }},
 	}, 2, zero)

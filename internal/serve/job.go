@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/gmtsim/gmt"
+	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: queued → running → done | failed.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one of Experiment
+// and Sim must be set, matching Kind.
+type SubmitRequest struct {
+	// Kind selects the job type: "experiment" (a named gmtbench
+	// experiment) or "sim" (a single app×policy run à la gmtsim).
+	Kind       string             `json:"kind"`
+	Experiment *ExperimentRequest `json:"experiment,omitempty"`
+	Sim        *SimRequest        `json:"sim,omitempty"`
+	// TimeoutMS, when positive, bounds the job's execution: the
+	// deadline is observed between the job's internal pool jobs (an
+	// in-progress simulation always completes), and an expired job
+	// reports status "failed" with a deadline error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentRequest names a gmtbench experiment plus the same knobs the
+// CLI exposes; zero values take gmtbench's defaults, so the default
+// request for "fig8" is byte-equivalent to `gmtbench -json fig8`.
+type ExperimentRequest struct {
+	Name             string  `json:"name"`
+	Tier1Pages       int     `json:"t1,omitempty"`
+	Tier2Pages       int     `json:"t2,omitempty"`
+	Oversubscription float64 `json:"osf,omitempty"`
+	Quick            bool    `json:"quick,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+}
+
+// SimRequest runs one application under one configuration. A nil
+// Config takes gmt.DefaultConfig; a nil Scale takes gmt.DefaultScale.
+type SimRequest struct {
+	App    string      `json:"app"`
+	Scale  *gmt.Scale  `json:"scale,omitempty"`
+	Config *gmt.Config `json:"config,omitempty"`
+}
+
+// JobStatus is the JSON shape of submit and poll responses. Times are
+// the server's monotonic clock (nanoseconds since daemon start).
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status Status `json:"status"`
+	// Cached is set on submit responses served from the result cache
+	// or collapsed into an in-flight identical job.
+	Cached      bool   `json:"cached,omitempty"`
+	Error       string `json:"error,omitempty"`
+	SubmittedNS int64  `json:"submitted_ns"`
+	StartedNS   int64  `json:"started_ns,omitempty"`
+	FinishedNS  int64  `json:"finished_ns,omitempty"`
+	// ResultURL is set once the job is done.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// scaleSpec is a resolved experiment scale (gmtbench's -t1/-t2/-osf
+// after -quick is applied).
+type scaleSpec struct {
+	Tier1Pages       int
+	Tier2Pages       int
+	Oversubscription float64
+}
+
+func (sc scaleSpec) workload() (s workload.Scale) {
+	s.Tier1Pages = sc.Tier1Pages
+	s.Tier2Pages = sc.Tier2Pages
+	s.Oversubscription = sc.Oversubscription
+	return s
+}
+
+// job is one admitted unit of work. Identity is content-addressed: the
+// id is a digest of the key, and the key captures everything the
+// result depends on, so identical submissions share one job.
+type job struct {
+	id   string
+	key  string
+	kind string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context) ([]byte, error)
+
+	status      Status
+	payload     []byte
+	err         string
+	submittedNS int64
+	startedNS   int64
+	finishedNS  int64
+}
+
+func (j *job) statusView() JobStatus {
+	v := JobStatus{
+		ID:          j.id,
+		Kind:        j.kind,
+		Status:      j.status,
+		Error:       j.err,
+		SubmittedNS: j.submittedNS,
+		StartedNS:   j.startedNS,
+		FinishedNS:  j.finishedNS,
+	}
+	if j.status == StatusDone {
+		v.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return v
+}
+
+func jobID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// buildJob validates a request and binds its executor closure; the
+// returned job is not yet admitted. Validation failures come back as
+// error for a 400.
+func (s *Server) buildJob(req *SubmitRequest) (*job, error) {
+	var key string
+	var run func(ctx context.Context) ([]byte, error)
+	var err error
+	switch req.Kind {
+	case "experiment":
+		if req.Experiment == nil {
+			return nil, fmt.Errorf("kind %q requires an %q object", req.Kind, req.Kind)
+		}
+		key, run, err = s.buildExperiment(req.Experiment)
+	case "sim":
+		if req.Sim == nil {
+			return nil, fmt.Errorf("kind %q requires a %q object", req.Kind, req.Kind)
+		}
+		key, run, err = s.buildSim(req.Sim)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want \"experiment\" or \"sim\")", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	return &job{
+		id:     jobID(key),
+		key:    key,
+		kind:   req.Kind,
+		ctx:    ctx,
+		cancel: cancel,
+		run:    run,
+		status: StatusQueued,
+	}, nil
+}
+
+// buildExperiment resolves an experiment request exactly the way
+// gmtbench resolves its flags, so equal inputs produce equal bytes.
+func (s *Server) buildExperiment(req *ExperimentRequest) (string, func(context.Context) ([]byte, error), error) {
+	name := req.Name
+	if !exp.KnownExperiment(name) {
+		return "", nil, fmt.Errorf("unknown experiment %q; choose from %v", name, exp.ExperimentNames)
+	}
+	scale := scaleSpec{Tier1Pages: 1024, Tier2Pages: 4096, Oversubscription: 2}
+	if req.Tier1Pages > 0 {
+		scale.Tier1Pages = req.Tier1Pages
+	}
+	if req.Tier2Pages > 0 {
+		scale.Tier2Pages = req.Tier2Pages
+	}
+	if req.Oversubscription > 0 {
+		scale.Oversubscription = req.Oversubscription
+	}
+	if req.Quick {
+		scale.Tier1Pages /= 4
+		scale.Tier2Pages /= 4
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// The cache key is the suite's own memo fingerprint (Seed, GPU,
+	// Scale) plus the experiment name: a daemon cache hit is exactly a
+	// suite memo hit one level up.
+	suite := s.suiteFor(scale, seed)
+	key := "exp|" + name + "|" + suite.Fingerprint()
+	run := func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if exp.NeedsSuite(name) {
+			if _, err := exp.Prewarm(ctx, suite, []string{name}, s.opts.JobParallelism, s.opts.Clock); err != nil {
+				return nil, err
+			}
+		}
+		rows, _, ok := exp.RunExperiment(func() *exp.Suite { return suite }, name, nil)
+		if !ok {
+			return nil, fmt.Errorf("experiment %q vanished from the registry", name)
+		}
+		var buf bytes.Buffer
+		if err := exp.EncodeExperiment(&buf, name, rows); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return key, run, nil
+}
+
+// buildSim resolves a single-run request. The workload is matched at
+// submit time (unknown apps are a 400, not a failed job); the trace is
+// generated inside the job.
+func (s *Server) buildSim(req *SimRequest) (string, func(context.Context) ([]byte, error), error) {
+	scale := gmt.DefaultScale()
+	if req.Scale != nil {
+		scale = *req.Scale
+	}
+	cfg := gmt.DefaultConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	var w gmt.Workload
+	for _, cand := range gmt.Suite(scale) {
+		if strings.EqualFold(cand.Name(), req.App) {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		return "", nil, fmt.Errorf("unknown app %q; choose from %v", req.App, gmt.WorkloadNames())
+	}
+	key := fmt.Sprintf("sim|%s|t1=%d,t2=%d,osf=%g|%s",
+		w.Name(), scale.Tier1Pages, scale.Tier2Pages, scale.Oversubscription,
+		cfg.Fingerprint())
+	run := func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res := gmt.Run(cfg, w)
+		s.mu.Lock()
+		s.met.simRuns++
+		s.mu.Unlock()
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(data, '\n'), nil
+	}
+	return key, run, nil
+}
+
+// handleSubmit is POST /v1/jobs: admission control. In order, a
+// submission is (1) collapsed onto an identical finished or in-flight
+// job — the content-addressed cache and singleflight path, (2) rejected
+// with 503 while draining, (3) rejected with 429 + Retry-After when the
+// queue is full, or (4) admitted.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	j, err := s.buildJob(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.met.submitted++
+	if existing, ok := s.byKey[j.key]; ok && existing.status != StatusFailed {
+		// Served from cache (done) or collapsed onto the identical
+		// in-flight job (queued/running): no new execution either way.
+		if existing.status == StatusDone {
+			s.met.cacheHits++
+		} else {
+			s.met.joins++
+		}
+		view := existing.statusView()
+		view.Cached = true
+		s.mu.Unlock()
+		j.cancel()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	if s.draining {
+		s.met.rejectedDraining++
+		s.mu.Unlock()
+		j.cancel()
+		writeError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.met.rejectedFull++
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		j.cancel()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs); retry in ~%ds", s.opts.QueueDepth, retry)
+		return
+	}
+	s.met.cacheMisses++
+	j.submittedNS = s.opts.Clock()
+	// A failed predecessor with the same key is superseded: the fresh
+	// attempt takes over the id.
+	s.jobs[j.id] = j
+	s.byKey[j.key] = j
+	view := j.statusView()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// retryAfterLocked estimates seconds until a queue slot frees up:
+// admitted work divided by workers, at the observed per-job latency.
+// Called with s.mu held.
+func (s *Server) retryAfterLocked() int64 {
+	pending := int64(len(s.queue)) + int64(s.inflight)
+	est := int64(s.met.ewmaNS() * float64(pending) / float64(s.opts.Workers) / 1e9)
+	if est < 1 {
+		return 1
+	}
+	if est > 60 {
+		return 60
+	}
+	return est
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var view JobStatus
+	if ok {
+		view = j.statusView()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleResult is GET /v1/jobs/{id}/result: the raw result payload —
+// for experiment jobs, the exact bytes `gmtbench -json <name>` prints.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var status Status
+	var payload []byte
+	var jerr string
+	if ok {
+		status, payload, jerr = j.status, j.payload, j.err
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	case status == StatusFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", jerr)
+	case status != StatusDone:
+		writeError(w, http.StatusAccepted, "job is %s; poll /v1/jobs/%s", status, r.PathValue("id"))
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload) // the canonical bytes; any wrapping would break the diff contract
+	}
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 once draining
+// (load balancers stop routing, pollers keep working).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	body := map[string]interface{}{
+		"status":   "ok",
+		"queued":   len(s.queue),
+		"inflight": s.inflight,
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// post submits a request body and returns the recorded response.
+func post(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) JobStatus {
+	t.Helper()
+	var v JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// waitStatus polls a job until it reaches want (or the deadline).
+func waitStatus(t *testing.T, s *Server, id string, want Status) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := get(t, s, "/v1/jobs/"+id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll %s: %d %s", id, rec.Code, rec.Body.String())
+		}
+		v := decodeStatus(t, rec)
+		if v.Status == want {
+			return v
+		}
+		if v.Status == StatusFailed && want != StatusFailed {
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return JobStatus{}
+}
+
+// metricValue extracts one series' value from /metrics.
+func metricValue(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(rec.Body.String())
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, rec.Body.String())
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatalf("parsing %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// expBody builds an experiment submission for distinct-keyed jobs.
+func expBody(name string) string {
+	return fmt.Sprintf(`{"kind":"experiment","experiment":{"name":%q,"quick":true}}`, name)
+}
+
+// blockingServer replaces the executor with one that signals start and
+// blocks until released, so tests control worker occupancy exactly.
+func blockingServer(t *testing.T, opts Options) (*Server, chan string, chan struct{}) {
+	t.Helper()
+	s := New(opts)
+	started := make(chan string, 64)
+	release := make(chan struct{})
+	s.exec = func(j *job) ([]byte, error) {
+		started <- j.id
+		<-release
+		return []byte("{}\n"), nil
+	}
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		s.Drain()
+	})
+	return s, started, release
+}
+
+func TestQueueFullRejectsWith429RetryAfter(t *testing.T) {
+	s, started, release := blockingServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	// First job occupies the lone worker...
+	rec := post(t, s, expBody("fig8"))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d %s", rec.Code, rec.Body.String())
+	}
+	<-started
+	// ...second fills the queue...
+	if rec := post(t, s, expBody("fig9")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d %s", rec.Code, rec.Body.String())
+	}
+	// ...third must be turned away with backpressure advice.
+	rec = post(t, s, expBody("fig10"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit 3: want 429, got %d %s", rec.Code, rec.Body.String())
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Fatalf("Retry-After = %q, want an integer in [1,60]", rec.Header().Get("Retry-After"))
+	}
+	if got := metricValue(t, s, `gmtd_jobs_rejected_total{reason="queue_full"}`); got != 1 {
+		t.Fatalf("rejected_total{queue_full} = %d, want 1", got)
+	}
+	close(release)
+}
+
+func TestDrainCompletesInFlightAndRejectsNew(t *testing.T) {
+	s, started, release := blockingServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	inflight := decodeStatus(t, post(t, s, expBody("fig8")))
+	<-started
+	queued := decodeStatus(t, post(t, s, expBody("fig9")))
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is rejected while draining...
+	if rec := post(t, s, expBody("fig10")); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: want 503, got %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: want 503, got %d", rec.Code)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was still executing")
+	default:
+	}
+
+	// ...but admitted jobs — running and queued — run to completion.
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return after jobs were released")
+	}
+	for _, id := range []string{inflight.ID, queued.ID} {
+		v := decodeStatus(t, get(t, s, "/v1/jobs/"+id))
+		if v.Status != StatusDone {
+			t.Fatalf("job %s after drain: status %q, want done", id, v.Status)
+		}
+	}
+}
+
+func TestSingleflightCollapsesIdenticalInFlight(t *testing.T) {
+	s, started, release := blockingServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	first := decodeStatus(t, post(t, s, expBody("fig8")))
+	<-started
+	rec := post(t, s, expBody("fig8"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("identical resubmit: want 200, got %d %s", rec.Code, rec.Body.String())
+	}
+	v := decodeStatus(t, rec)
+	if !v.Cached || v.ID != first.ID {
+		t.Fatalf("resubmit joined %+v, want cached view of %s", v, first.ID)
+	}
+	if got := metricValue(t, s, "gmtd_singleflight_joins_total"); got != 1 {
+		t.Fatalf("joins_total = %d, want 1", got)
+	}
+	close(release)
+}
+
+func TestCacheHitServesWithoutResimulating(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Drain()
+
+	body := `{"kind":"sim","sim":{"app":"MultiVectorAdd","scale":{"Tier1Pages":64,"Tier2Pages":256,"Oversubscription":2}}}`
+	rec := post(t, s, body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cold submit: %d %s", rec.Code, rec.Body.String())
+	}
+	cold := decodeStatus(t, rec)
+	waitStatus(t, s, cold.ID, StatusDone)
+	payload := get(t, s, "/v1/jobs/"+cold.ID+"/result")
+	if payload.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", payload.Code, payload.Body.String())
+	}
+	sims := metricValue(t, s, "gmtd_simulations_total")
+	if sims == 0 {
+		t.Fatal("cold run recorded no simulations")
+	}
+
+	// The identical resubmission is answered from the cache: same job,
+	// same bytes, and — the contract the metric pins — no new simulation.
+	rec = post(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm submit: %d %s", rec.Code, rec.Body.String())
+	}
+	warm := decodeStatus(t, rec)
+	if !warm.Cached || warm.ID != cold.ID || warm.Status != StatusDone {
+		t.Fatalf("warm view %+v, want cached done view of %s", warm, cold.ID)
+	}
+	warmPayload := get(t, s, "/v1/jobs/"+warm.ID+"/result")
+	if !bytes.Equal(warmPayload.Body.Bytes(), payload.Body.Bytes()) {
+		t.Fatal("warm result differs from cold result")
+	}
+	if got := metricValue(t, s, "gmtd_simulations_total"); got != sims {
+		t.Fatalf("simulations_total moved %d -> %d on a cache hit", sims, got)
+	}
+	if got := metricValue(t, s, "gmtd_cache_hits_total"); got != 1 {
+		t.Fatalf("cache_hits_total = %d, want 1", got)
+	}
+}
+
+func TestExperimentResultMatchesCLIEncoding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick fig8 suite")
+	}
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Drain()
+
+	rec := post(t, s, expBody("fig8"))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	v := decodeStatus(t, rec)
+	waitStatus(t, s, v.ID, StatusDone)
+	got := get(t, s, "/v1/jobs/"+v.ID+"/result").Body.Bytes()
+
+	// The reference bytes are what `gmtbench -quick -json fig8` prints:
+	// same suite construction, same driver, same encoder.
+	suite := exp.NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
+	suite.Seed = 1
+	rows, _, ok := exp.RunExperiment(func() *exp.Suite { return suite }, "fig8", nil)
+	if !ok {
+		t.Fatal("fig8 missing from driver registry")
+	}
+	var want bytes.Buffer
+	if err := exp.EncodeExperiment(&want, "fig8", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("daemon payload differs from CLI encoding\n got: %s\nwant: %s", got, want.Bytes())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer s.Drain()
+	for _, body := range []string{
+		`{`,
+		`{"kind":"experiment"}`,
+		`{"kind":"sim"}`,
+		`{"kind":"mystery"}`,
+		`{"kind":"experiment","experiment":{"name":"nope"}}`,
+		`{"kind":"sim","sim":{"app":"nope"}}`,
+		`{"kind":"sim","sim":{"app":"BFS"},"surprise":1}`,
+	} {
+		if rec := post(t, s, body); rec.Code != http.StatusBadRequest {
+			t.Errorf("submit %s: want 400, got %d %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := get(t, s, "/v1/jobs/jdeadbeef"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job: want 404, got %d", rec.Code)
+	}
+	if rec := get(t, s, "/v1/jobs/jdeadbeef/result"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown result: want 404, got %d", rec.Code)
+	}
+}
+
+func TestJobTimeoutFailsJob(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	realExec := s.exec
+	s.exec = func(j *job) ([]byte, error) {
+		if j.kind == "experiment" {
+			started <- struct{}{}
+			<-release
+			return []byte("{}\n"), nil
+		}
+		return realExec(j)
+	}
+	defer s.Drain()
+
+	// Occupy the lone worker so the sim job's deadline expires while it
+	// waits in the queue; its executor then fails on the first ctx check
+	// instead of simulating.
+	if rec := post(t, s, expBody("fig8")); rec.Code != http.StatusAccepted {
+		t.Fatalf("blocker: %d %s", rec.Code, rec.Body.String())
+	}
+	<-started
+	rec := post(t, s, `{"kind":"sim","sim":{"app":"BFS"},"timeout_ms":30}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("sim submit: %d %s", rec.Code, rec.Body.String())
+	}
+	v := decodeStatus(t, rec)
+	time.Sleep(60 * time.Millisecond)
+	close(release)
+	st := waitForTerminal(t, s, v.ID)
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("job finished as %q (error %q), want failed with a deadline error", st.Status, st.Error)
+	}
+}
+
+// waitForTerminal polls until the job is done or failed.
+func waitForTerminal(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := decodeStatus(t, get(t, s, "/v1/jobs/"+id))
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
