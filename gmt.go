@@ -241,6 +241,8 @@ func (r Result) Speedup(base Result) float64 {
 }
 
 // Run simulates workload w under cfg.
+//
+//gmt:blocking
 func Run(cfg Config, w Workload) Result {
 	return RunTrace(cfg, w.Name(), w.Trace())
 }

@@ -55,6 +55,10 @@ func (d *pageDirectory) lookup(p tier.PageID) *pageState {
 	return d.lookupSlow(p)
 }
 
+// lookupSlow handles first references and directory growth; both are
+// amortized off the per-access steady state.
+//
+//gmt:coldpath
 func (d *pageDirectory) lookupSlow(p tier.PageID) *pageState {
 	if p < 0 {
 		panic(fmt.Sprintf("core: negative page id %d", p))

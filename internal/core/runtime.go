@@ -457,6 +457,8 @@ func (rt *Runtime) page(p tier.PageID) *pageState {
 }
 
 // Access implements gpu.MemoryManager: one coalesced page reference.
+//
+//gmt:hotpath
 func (rt *Runtime) Access(a gpu.Access, done func()) {
 	if rt.AccessSync(a, done) {
 		done()
@@ -468,6 +470,8 @@ func (rt *Runtime) Access(a gpu.Access, done func()) {
 // classic path would make synchronously, and done is neither retained
 // nor invoked. Every other location takes the asynchronous machinery
 // and will call done exactly once when the page lands.
+//
+//gmt:hotpath
 func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 	if invariant.Enabled {
 		invariant.Assert(rt.t1.Len()+rt.reserved <= rt.t1.Capacity(),
@@ -537,6 +541,8 @@ func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 // history snapshots and reuse-sampler observation. Split out (and gated
 // by hotAux) so the hit path pays one predictable branch instead of a
 // config conversion and two field tests per access.
+//
+//gmt:coldpath
 func (rt *Runtime) accessAux(p tier.PageID) {
 	if rt.historySample > 0 && rt.m.Accesses%rt.historySample == 0 {
 		rt.history = append(rt.history, rt.Snapshot())
@@ -551,6 +557,8 @@ func (rt *Runtime) accessAux(p tier.PageID) {
 // the access-counter delta since eviction, the regression projects the
 // RRD, Eq. 1 yields the correct class, and the Markov chain learns the
 // transition from the previous correct class.
+//
+//gmt:coldpath
 func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
 	if rt.cfg.Policy != PolicyReuse || !ps.awaitingEval {
 		return
@@ -575,6 +583,8 @@ func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
 
 // fetchFromTier2 serves a miss from host memory: a useful Tier-2 lookup,
 // then a GPU-orchestrated page move down (Hybrid-XT, §2.3).
+//
+//gmt:coldpath
 func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 	rt.m.Tier2Lookups++
 	rt.m.Tier2Hits++
@@ -597,6 +607,8 @@ func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 // fetchFromSSD serves a miss from the drive, bypassing Tier-2 on the
 // up-path. Under the 3-tier policies the preceding Tier-2 probe was
 // wasteful and its latency sits on the critical path (§3.4).
+//
+//gmt:coldpath
 func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
 	lookup := sim.Time(0)
 	if rt.cfg.Policy != PolicyBaM {

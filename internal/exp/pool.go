@@ -47,6 +47,8 @@ type Report struct {
 // prewarm leaves the suite memo consistent — every committed result is
 // complete — so the same suite can be prewarmed again or rendered
 // directly afterwards.
+//
+//gmt:blocking
 func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, clock func() int64) (Report, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -249,6 +249,8 @@ func (s *Suite) config(p core.PolicyKind) core.Config {
 
 // Run simulates the workload under a GMT policy (or BaM), returning the
 // run metrics with WallTime filled in. Results are memoized.
+//
+//gmt:blocking
 func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
 	cfg := s.config(p)
 	cfg.FootprintPages = int(w.Pages())
@@ -274,6 +276,8 @@ func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
 // RunHMM simulates the workload under the CPU-orchestrated baseline.
 // forcedHitRate < 0 runs real HMM; otherwise the §3.6 optimistic
 // variant.
+//
+//gmt:blocking
 func (s *Suite) RunHMM(w workload.Workload, forcedHitRate float64) stats.Run {
 	cfg := baseline.DefaultHMMConfig()
 	cfg.Tier1Pages = s.Scale.Tier1Pages

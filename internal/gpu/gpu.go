@@ -151,10 +151,14 @@ type warp struct {
 
 // warpStepEvent is the typed event dispatched for every warp step; ctx
 // is the *warp.
+//
+//gmt:hotpath
 func warpStepEvent(ctx any, _ int64) { ctx.(*warp).step() }
 
 // barrierReleaseEvent is the typed event dispatched once per completed
 // barrier; ctx is the *GPU.
+//
+//gmt:hotpath
 func barrierReleaseEvent(ctx any, _ int64) { ctx.(*GPU).releaseParked() }
 
 // New returns an unlaunched GPU kernel execution.
@@ -181,6 +185,7 @@ func (g *GPU) Launch() {
 	}
 }
 
+//gmt:hotpath
 func (w *warp) step() {
 	g := w.g
 	for {
@@ -236,6 +241,8 @@ func (w *warp) step() {
 }
 
 // accessDone resumes the warp after its in-flight access lands.
+//
+//gmt:hotpath
 func (w *warp) accessDone() {
 	g := w.g
 	g.stall += g.eng.Now() - w.issued
@@ -250,6 +257,8 @@ func (w *warp) accessDone() {
 // not one queue entry per warp: the per-warp events always held
 // consecutive sequence numbers at a single instant, so nothing could
 // ever interleave between them and the batch dispatches identically.
+//
+//gmt:hotpath
 func (g *GPU) checkBarrier() {
 	if !g.barPending || len(g.parked) < g.active {
 		return
@@ -267,6 +276,8 @@ func (g *GPU) checkBarrier() {
 // normal streak rule applies unchanged. A warp that parks again during
 // the batch (a back-to-back barrier) lands in the other ping-pong
 // buffer, and the rendezvous it completes is released by a fresh event.
+//
+//gmt:hotpath
 func (g *GPU) releaseParked() {
 	rel := g.releasing
 	for i, w := range rel {

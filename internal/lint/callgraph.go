@@ -1,0 +1,682 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Collector is phase 1 of the whole-program analysis: it walks one
+// package at a time and produces serializable per-function facts plus
+// the package's slice of the cross-package call graph.
+//
+// Function literals are flattened into their enclosing declared
+// function: a closure's facts, allocation sites, and call edges belong
+// to the function that created it, which is also the function that
+// schedules or stores it — exactly the attribution taint propagation
+// needs.
+type Collector struct {
+	Fset *token.FileSet
+	// Within reports whether an import path belongs to the program
+	// under analysis; edges are recorded only for in-program callees
+	// (standard-library calls contribute facts, not edges).
+	Within func(pkgPath string) bool
+}
+
+// Package collects facts for one type-checked package.
+func (c *Collector) Package(pkg *Package) *PackageFacts {
+	pf := &PackageFacts{Version: FactsVersion, Path: pkg.Path}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if ff := c.funcDecl(pkg, fd); ff != nil {
+				pf.Funcs = append(pf.Funcs, ff)
+			}
+		}
+	}
+	return pf
+}
+
+// Directive comments recognized on function declarations.
+var funcDirectives = map[string]Fact{
+	"//gmt:hotpath":     FactHot,
+	"//gmt:coldpath":    FactCold,
+	"//gmt:blocking":    FactBlocking,
+	"//gmt:detroot":     FactDetRoot,
+	"//gmt:requestroot": FactRequestRoot,
+}
+
+func (c *Collector) funcDecl(pkg *Package, fd *ast.FuncDecl) *FuncFacts {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	start := c.Fset.Position(fd.Pos())
+	end := c.Fset.Position(fd.End())
+	ff := &FuncFacts{
+		ID:       FuncID(obj.FullName()),
+		Pkg:      pkg.Path,
+		Name:     prettyFuncName(obj),
+		File:     start.Filename,
+		Line:     start.Line,
+		StartOff: start.Offset,
+		EndOff:   end.Offset,
+		HasCtx:   hasContextParam(sig),
+		ReqRoot:  isHandlerShaped(sig),
+	}
+	if recv := sig.Recv(); recv != nil && !types.IsInterface(recv.Type()) {
+		ff.Method = obj.Name()
+		ff.Sig = types.TypeString(sig, nil)
+	}
+	if fd.Doc != nil {
+		for _, cm := range fd.Doc.List {
+			text := cm.Text
+			if i := strings.IndexAny(text, " \t"); i >= 0 {
+				text = text[:i]
+			}
+			if bit, ok := funcDirectives[text]; ok {
+				ff.Flags |= bit
+			}
+		}
+	}
+	if fd.Body != nil {
+		c.walkBody(pkg, ff, fd)
+	}
+	return ff
+}
+
+// prettyFuncName renders a short display name: Func for package
+// functions, (*Recv).Method for methods.
+func prettyFuncName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return "(" + types.TypeString(recv.Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHandlerShaped reports the net/http handler signature
+// func(http.ResponseWriter, *http.Request).
+func isHandlerShaped(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	isNetHTTP := func(t types.Type, name string) bool {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+	}
+	return isNetHTTP(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isNetHTTP(sig.Params().At(1).Type(), "Request")
+}
+
+// span is a half-open source range used for the guard exclusions.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.lo && p < s.hi }
+
+func inSpans(spans []span, p token.Pos) bool {
+	for _, s := range spans {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Collector) walkBody(pkg *Package, ff *FuncFacts, fd *ast.FuncDecl) {
+	info := pkg.Info
+	body := fd.Body
+
+	// Pre-passes: call positions, selector parents, &composite sites,
+	// guard spans, and calls made under a held mutex.
+	callFuns := make(map[ast.Node]bool)
+	parentSel := make(map[*ast.Ident]*ast.SelectorExpr)
+	addrComposite := make(map[*ast.CompositeLit]bool)
+	var nilGuardSpans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callFuns[unparen(n.Fun)] = true
+		case *ast.SelectorExpr:
+			parentSel[n.Sel] = n
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					addrComposite[cl] = true
+				}
+			}
+		case *ast.IfStmt:
+			if isCtxNilGuard(info, n.Cond) {
+				nilGuardSpans = append(nilGuardSpans, span{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	locked := lockedCallPositions(info, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// Code under `if invariant.Enabled` (or raceflag.Enabled) is
+			// compiled out of default builds; it contributes nothing to
+			// the default-build call graph or allocation profile.
+			if isInvariantGuard(info, n.Cond) {
+				return false
+			}
+		case *ast.Ident:
+			c.identUse(pkg, ff, n, callFuns, parentSel, locked)
+		case *ast.CallExpr:
+			c.callSites(pkg, ff, n, nilGuardSpans, body.Pos(), body.End())
+		case *ast.GoStmt:
+			c.fact(ff, FactGoroutine, n.Pos(), "go statement (goroutine spawn)")
+		case *ast.SendStmt:
+			c.fact(ff, FactChan, n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.fact(ff, FactChan, n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			c.fact(ff, FactChan, n.Pos(), "select statement")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					c.fact(ff, FactChan, n.Pos(), "range over channel")
+				}
+			}
+		case *ast.CompositeLit:
+			c.compositeAlloc(pkg, ff, n, addrComposite)
+		case *ast.FuncLit:
+			c.closureAlloc(pkg, ff, fd, n)
+		}
+		return true
+	})
+}
+
+func (c *Collector) fact(ff *FuncFacts, bit Fact, pos token.Pos, msg string) {
+	ff.Flags |= bit
+	ff.Sites = append(ff.Sites, Site{Fact: bit, Pos: c.Fset.Position(pos), Msg: msg})
+}
+
+// identUse records stdlib determinism facts and in-program call-graph
+// edges for one resolved identifier.
+func (c *Collector) identUse(pkg *Package, ff *FuncFacts, id *ast.Ident,
+	callFuns map[ast.Node]bool, parentSel map[*ast.Ident]*ast.SelectorExpr,
+	locked map[token.Pos]bool) {
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	path := fn.Pkg().Path()
+	if sig.Recv() == nil {
+		if path == "time" && wallClockFuncs[fn.Name()] {
+			c.fact(ff, FactWallClock, id.Pos(), "wall-clock call time."+fn.Name())
+		}
+		if globalRandPkg(path) && !globalRandExempt[fn.Name()] {
+			c.fact(ff, FactGlobalRand, id.Pos(), "global-stream call rand."+fn.Name())
+		}
+	}
+	if c.Within == nil || !c.Within(path) {
+		return
+	}
+	// Call position: the ident itself, or the selector it terminates.
+	sel := parentSel[id]
+	inCall := callFuns[id] || (sel != nil && callFuns[sel])
+	isLocked := locked[id.Pos()] || (sel != nil && locked[sel.Pos()])
+	edge := Edge{Pos: c.Fset.Position(id.Pos()), Locked: isLocked}
+	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		edge.Kind = EdgeIface
+		edge.Method = fn.Name()
+		edge.Sig = types.TypeString(sig, nil)
+	} else {
+		edge.Callee = FuncID(fn.FullName())
+		if inCall {
+			edge.Kind = EdgeStatic
+		} else {
+			edge.Kind = EdgeRef
+		}
+	}
+	ff.Calls = append(ff.Calls, edge)
+}
+
+// callSites records builtin allocations (make/new/append), context
+// mints, and interface-boxing argument conversions for one call.
+func (c *Collector) callSites(pkg *Package, ff *FuncFacts, call *ast.CallExpr, nilGuards []span, bodyStart, bodyEnd token.Pos) {
+	info := pkg.Info
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.alloc(ff, AllocMake, call.Pos(), "make allocates")
+			case "new":
+				c.alloc(ff, AllocMake, call.Pos(), "new allocates")
+			case "append":
+				c.appendAlloc(pkg, ff, call, bodyStart, bodyEnd)
+			}
+			// No boxing check for any builtin: panic's interface{}
+			// parameter is a termination path, not steady state.
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			ff.Mints = append(ff.Mints, Site{
+				Pos:     c.Fset.Position(call.Pos()),
+				Msg:     "context." + fn.Name() + "() minted",
+				Guarded: inSpans(nilGuards, call.Pos()),
+			})
+		}
+	}
+	c.boxingSites(pkg, ff, call)
+}
+
+// appendAlloc flags append whose destination is a bare function-local
+// slice: such a slice starts empty on every invocation, so the append
+// allocates per call. Appends into fields, parameters, and package
+// state (free lists, arenas, accumulators) grow amortized long-lived
+// storage and are not per-operation allocations.
+func (c *Collector) appendAlloc(pkg *Package, ff *FuncFacts, call *ast.CallExpr, bodyStart, bodyEnd token.Pos) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	// Only variables declared inside the body (not parameters, results,
+	// receivers, or package-level state — those hold long-lived storage
+	// the append grows amortized).
+	if v.Pos() < bodyStart || v.Pos() >= bodyEnd {
+		return
+	}
+	c.alloc(ff, AllocAppend, call.Pos(),
+		fmt.Sprintf("append to function-local slice %s allocates per call", id.Name))
+}
+
+func (c *Collector) alloc(ff *FuncFacts, kind string, pos token.Pos, msg string) {
+	ff.Allocs = append(ff.Allocs, Site{Kind: kind, Pos: c.Fset.Position(pos), Msg: msg})
+}
+
+// boxingSites flags non-constant, non-pointer-shaped values passed to
+// non-variadic interface parameters: the conversion heap-allocates the
+// value. Pointer-shaped kinds (pointers, maps, channels, funcs) ride in
+// the interface word; constants are interned by the compiler; variadic
+// parameters are skipped because the dominant callers (asserts,
+// formatting on panic paths) never execute in steady state.
+func (c *Collector) boxingSites(pkg *Package, ff *FuncFacts, call *ast.CallExpr) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		if i >= n || (sig.Variadic() && i >= n-1) {
+			break
+		}
+		pt := sig.Params().At(i).Type()
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.Value != nil || at.IsNil() || at.Type == nil {
+			continue
+		}
+		if boxes(at.Type) {
+			c.alloc(ff, AllocBox, arg.Pos(), fmt.Sprintf(
+				"interface boxing: %s value converted to %s allocates",
+				types.TypeString(at.Type, nil), types.TypeString(pt, types.RelativeTo(pkg.Types))))
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// heap-allocates: true for value kinds (basics, strings, structs,
+// arrays, slices), false for pointer-shaped kinds and interfaces.
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func (c *Collector) compositeAlloc(pkg *Package, ff *FuncFacts, cl *ast.CompositeLit, addr map[*ast.CompositeLit]bool) {
+	t := pkg.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.alloc(ff, AllocComposite, cl.Pos(), "slice literal allocates")
+		return
+	case *types.Map:
+		c.alloc(ff, AllocComposite, cl.Pos(), "map literal allocates")
+		return
+	}
+	if addr[cl] {
+		c.alloc(ff, AllocComposite, cl.Pos(), fmt.Sprintf(
+			"&%s composite literal allocates", types.TypeString(t, types.RelativeTo(pkg.Types))))
+	}
+}
+
+// closureAlloc flags function literals that capture enclosing state: a
+// capturing closure allocates its environment at creation. Literals
+// referencing only package-level state compile to singletons.
+func (c *Collector) closureAlloc(pkg *Package, ff *FuncFacts, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+			captures = true
+		}
+		return true
+	})
+	if captures {
+		c.alloc(ff, AllocClosure, lit.Pos(), "capturing closure allocates its environment")
+	}
+}
+
+// isInvariantGuard recognizes `if invariant.Enabled` (and
+// raceflag.Enabled) conditions: the guarded block is compiled out of
+// default builds.
+func isInvariantGuard(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != "Enabled" {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		base := obj.Pkg().Path()
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		if base == "invariant" || base == "raceflag" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxNilGuard recognizes `if ctx == nil` where ctx is a
+// context.Context: the guarded body is the sanctioned default-context
+// idiom, so a context.Background() mint inside it is exempt.
+func isCtxNilGuard(info *types.Info, cond ast.Expr) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	check := func(x, y ast.Expr) bool {
+		tv, ok := info.Types[y]
+		if !ok || !tv.IsNil() {
+			return false
+		}
+		t := info.TypeOf(x)
+		return t != nil && isContextType(t)
+	}
+	return check(bin.X, bin.Y) || check(bin.Y, bin.X)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// lockedCallPositions walks a function body tracking which
+// sync.Mutex/RWMutex receivers are held at each statement, and returns
+// the positions of every call expression evaluated while at least one
+// lock is held. Function literals are skipped: their bodies execute
+// later, under their own lock state.
+//
+// The tracking is a conservative linear walk: branches are analyzed
+// with a copy of the held set, and the states are unioned afterwards
+// unless a branch provably terminates (ends in return or panic) — the
+// `if cond { mu.Unlock(); return }` early-exit idiom therefore does not
+// leak an unlocked state into the fallthrough path.
+func lockedCallPositions(info *types.Info, body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	walkLockStmts(info, body.List, map[string]bool{}, out)
+	return out
+}
+
+func walkLockStmts(info *types.Info, stmts []ast.Stmt, held map[string]bool, out map[token.Pos]bool) map[string]bool {
+	for _, s := range stmts {
+		held = walkLockStmt(info, s, held, out)
+	}
+	return held
+}
+
+func walkLockStmt(info *types.Info, s ast.Stmt, held map[string]bool, out map[token.Pos]bool) map[string]bool {
+	mark := func(n ast.Node) {
+		if n == nil || len(held) == 0 {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				out[m.Pos()] = true
+			}
+			return true
+		})
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockOp(info, s.X); ok {
+			if op {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return held
+		}
+		mark(s.X)
+	case *ast.DeferStmt:
+		if _, op, ok := lockOp(info, s.Call); ok && !op {
+			// Deferred unlock: the lock stays held for the remainder of
+			// the function body, which is exactly what the held set
+			// already says. Nothing to do.
+			return held
+		}
+		mark(s.Call)
+	case *ast.BlockStmt:
+		return walkLockStmts(info, s.List, held, out)
+	case *ast.IfStmt:
+		mark(s.Init)
+		mark(s.Cond)
+		bodyExit := walkLockStmts(info, s.Body.List, copyHeld(held), out)
+		elseExit := held
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseExit = walkLockStmts(info, e.List, copyHeld(held), out)
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseExit = walkLockStmt(info, e, copyHeld(held), out)
+		}
+		switch {
+		case terminates(s.Body.List) && elseTerm:
+			return held
+		case terminates(s.Body.List):
+			return elseExit
+		case elseTerm:
+			return bodyExit
+		default:
+			return unionHeld(bodyExit, elseExit)
+		}
+	case *ast.ForStmt:
+		mark(s.Init)
+		mark(s.Cond)
+		mark(s.Post)
+		return unionHeld(held, walkLockStmts(info, s.Body.List, copyHeld(held), out))
+	case *ast.RangeStmt:
+		mark(s.X)
+		return unionHeld(held, walkLockStmts(info, s.Body.List, copyHeld(held), out))
+	case *ast.SwitchStmt:
+		mark(s.Init)
+		mark(s.Tag)
+		return walkClauses(info, s.Body, held, out)
+	case *ast.TypeSwitchStmt:
+		mark(s.Init)
+		return walkClauses(info, s.Body, held, out)
+	case *ast.SelectStmt:
+		return walkClauses(info, s.Body, held, out)
+	case *ast.LabeledStmt:
+		return walkLockStmt(info, s.Stmt, held, out)
+	case *ast.GoStmt:
+		// The spawned goroutine runs without the caller's locks.
+		return held
+	default:
+		mark(s)
+	}
+	return held
+}
+
+func walkClauses(info *types.Info, body *ast.BlockStmt, held map[string]bool, out map[token.Pos]bool) map[string]bool {
+	exit := copyHeld(held)
+	for _, cs := range body.List {
+		var list []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			list = cs.Body
+		case *ast.CommClause:
+			list = cs.Body
+		}
+		ce := walkLockStmts(info, list, copyHeld(held), out)
+		if !terminates(list) {
+			exit = unionHeld(exit, ce)
+		}
+	}
+	return exit
+}
+
+func copyHeld(h map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+func unionHeld(a, b map[string]bool) map[string]bool {
+	u := copyHeld(a)
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+// terminates reports whether a statement list provably does not fall
+// through (ends in return, panic, or an unconditional branch).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockOp recognizes x.Lock()/x.RLock() (op=true) and
+// x.Unlock()/x.RUnlock() (op=false) on sync mutexes, returning a key
+// identifying the mutex expression.
+func lockOp(info *types.Info, e ast.Expr) (key string, lock bool, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}

@@ -1,0 +1,78 @@
+package lint
+
+import "fmt"
+
+// CtxFlow checks the concurrent serving shell's request paths. Roots
+// are HTTP-handler-shaped functions in the serve packages (plus
+// //gmt:requestroot-marked functions). On everything they reach:
+//
+//   - context.Background()/TODO() must not be minted — the request
+//     context must be threaded through (context.WithoutCancel for work
+//     that legitimately outlives the request). The one sanctioned
+//     exception is the `if ctx == nil { ctx = context.Background() }`
+//     nil-guard default.
+//   - blocking simulation entry points (//gmt:blocking) must not be
+//     called while a sync.Mutex/RWMutex is held.
+var CtxFlow = &ProgramAnalyzer{
+	Name: "ctxflow",
+	Doc: "reports dropped contexts (context.Background/TODO minted on a " +
+		"request path) and blocking simulation entry points called under " +
+		"a held mutex, with the offending call chain",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *ProgramPass) error {
+	p := pass.Program
+	var roots []FuncID
+	for _, id := range p.SortedIDs() {
+		f := p.Funcs[id]
+		if f.Flags&FactRequestRoot != 0 ||
+			(f.ReqRoot && pass.ServeRoot != nil && pass.ServeRoot(f.Pkg)) {
+			roots = append(roots, id)
+		}
+	}
+	reach := p.Reach(roots, nil)
+	closure := p.Closure()
+	for _, id := range p.SortedIDs() {
+		if _, ok := reach[id]; !ok {
+			continue
+		}
+		f := p.Funcs[id]
+		chain := p.Chain(reach, id)
+		for _, m := range f.Mints {
+			if m.Guarded {
+				continue
+			}
+			advice := "thread the request context through instead"
+			if f.HasCtx {
+				advice = "the function already receives a context.Context — pass it on " +
+					"(context.WithoutCancel for work that outlives the request)"
+			}
+			pass.Report(ProgramDiagnostic{
+				Pos: m.Pos,
+				Message: fmt.Sprintf("%s on a request path; %s; call path: %s",
+					m.Msg, advice, FormatChain(chain)),
+				Chain: chain,
+			})
+		}
+		for _, e := range f.Calls {
+			if !e.Locked {
+				continue
+			}
+			for _, calleeID := range p.Callees(e) {
+				if closure[calleeID]&FactBlocking == 0 {
+					continue
+				}
+				pass.Report(ProgramDiagnostic{
+					Pos: e.Pos,
+					Message: fmt.Sprintf("blocking simulation entry point %s called while holding a mutex "+
+						"on a request path; release the lock before running simulations; call path: %s",
+						p.Funcs[calleeID].Name, FormatChain(chain)),
+					Chain: chain,
+				})
+				break
+			}
+		}
+	}
+	return nil
+}

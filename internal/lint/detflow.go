@@ -1,0 +1,55 @@
+package lint
+
+import "fmt"
+
+// DetFlow is the transitive-determinism analyzer: phase-2 taint
+// propagation over the whole-program call graph. Its roots are every
+// function in the simulator packages (plus //gmt:detroot-marked
+// functions); anything they can reach — across package boundaries,
+// through function values, through interface methods — must be free of
+// wall-clock reads, global-rand draws, goroutine spawns, and channel
+// operations.
+//
+// Sites inside the root functions themselves are left to the
+// per-package analyzers (norealtime, noglobalrand, nogoroutine);
+// detflow reports only what those provably cannot see: taint one or
+// more call hops away, with the full root→violation chain.
+var DetFlow = &ProgramAnalyzer{
+	Name: "detflow",
+	Doc: "reports wall-clock, global-rand, goroutine, and channel use " +
+		"transitively reachable from deterministic simulation roots, " +
+		"with the offending call chain",
+	Run: runDetFlow,
+}
+
+func runDetFlow(pass *ProgramPass) error {
+	p := pass.Program
+	var roots []FuncID
+	for _, id := range p.SortedIDs() {
+		f := p.Funcs[id]
+		if f.Flags&FactDetRoot != 0 || (pass.DetRoot != nil && pass.DetRoot(f.Pkg)) {
+			roots = append(roots, id)
+		}
+	}
+	reach := p.Reach(roots, nil)
+	for _, id := range p.SortedIDs() {
+		entry, ok := reach[id]
+		if !ok || entry.Depth == 0 {
+			continue
+		}
+		f := p.Funcs[id]
+		chain := p.Chain(reach, id)
+		for _, site := range f.Sites {
+			if site.Fact&taintFacts == 0 {
+				continue
+			}
+			pass.Report(ProgramDiagnostic{
+				Pos: site.Pos,
+				Message: fmt.Sprintf("%s is reachable from deterministic simulation code; call path: %s",
+					site.Msg, FormatChain(chain)),
+				Chain: chain,
+			})
+		}
+	}
+	return nil
+}

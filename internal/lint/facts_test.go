@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/lint"
+	"github.com/gmtsim/gmt/internal/lint/linttest"
+)
+
+// TestFactsRoundTrip collects facts for a real fixture package and
+// checks Encode/DecodeFacts is lossless — the property the gmtlint
+// fact cache depends on.
+func TestFactsRoundTrip(t *testing.T) {
+	fset, pkgs := linttest.LoadProgram(t, "testdata", "detroot", "ctxroot", "hotallocfix")
+	for _, pkg := range pkgs {
+		coll := &lint.Collector{Fset: fset, Within: func(string) bool { return true }}
+		pf := coll.Package(pkg)
+		data, err := pf.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", pkg.Path, err)
+		}
+		back, err := lint.DecodeFacts(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", pkg.Path, err)
+		}
+		if !reflect.DeepEqual(pf, back) {
+			t.Errorf("%s: round trip not lossless:\n got %+v\nwant %+v", pkg.Path, back, pf)
+		}
+	}
+}
+
+func TestDecodeFactsRejectsStaleVersion(t *testing.T) {
+	_, err := lint.DecodeFacts([]byte(`{"version":"gmtlint-facts/v0","path":"x","funcs":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version-mismatch error, got %v", err)
+	}
+}
+
+// TestFactsFingerprint pins the cache-key contract: content- and
+// name-sensitive, insertion-order-independent.
+func TestFactsFingerprint(t *testing.T) {
+	a := lint.FactsFingerprint(map[string][]byte{"a.go": []byte("x"), "b.go": []byte("y")})
+	b := lint.FactsFingerprint(map[string][]byte{"b.go": []byte("y"), "a.go": []byte("x")})
+	if a != b {
+		t.Errorf("fingerprint depends on map order: %s vs %s", a, b)
+	}
+	c := lint.FactsFingerprint(map[string][]byte{"a.go": []byte("x"), "b.go": []byte("z")})
+	if a == c {
+		t.Error("fingerprint ignores file contents")
+	}
+	d := lint.FactsFingerprint(map[string][]byte{"a.go": []byte("x"), "c.go": []byte("y")})
+	if a == d {
+		t.Error("fingerprint ignores file names")
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import "fmt"
+
+// HotAlloc turns the runtime 0-allocs/op benchmark gates into a static
+// check. Roots are //gmt:hotpath-marked functions; traversal follows
+// only static call edges (function-value and interface dispatch on a
+// hot path is a separate problem the alloc gates catch dynamically) and
+// stops at //gmt:coldpath barriers — amortized slow paths like arena
+// growth or miss handling. Every allocation site in the remaining
+// reachable set is reported with its root→site chain: capturing
+// closures, make/new, slice and map literals, address-taken composite
+// literals, appends to function-local slices, and interface boxing.
+var HotAlloc = &ProgramAnalyzer{
+	Name: "hotalloc",
+	Doc: "reports allocation sites statically reachable from " +
+		"//gmt:hotpath functions gated at 0 allocs/op, excluding " +
+		"//gmt:coldpath slow paths",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *ProgramPass) error {
+	p := pass.Program
+	var roots []FuncID
+	for _, id := range p.SortedIDs() {
+		if p.Funcs[id].Flags&FactHot != 0 {
+			roots = append(roots, id)
+		}
+	}
+	reach := p.Reach(roots, func(e Edge, callee *FuncFacts) bool {
+		return e.Kind == EdgeStatic && callee.Flags&FactCold == 0
+	})
+	for _, id := range p.SortedIDs() {
+		if _, ok := reach[id]; !ok {
+			continue
+		}
+		f := p.Funcs[id]
+		chain := p.Chain(reach, id)
+		for _, a := range f.Allocs {
+			pass.Report(ProgramDiagnostic{
+				Pos: a.Pos,
+				Message: fmt.Sprintf("%s on a 0-allocs/op hot path; call path: %s",
+					a.Msg, FormatChain(chain)),
+				Chain: chain,
+			})
+		}
+	}
+	return nil
+}

@@ -4,7 +4,17 @@
 // Analyzer, Pass, Diagnostic — but is built entirely on the standard
 // library's go/ast and go/types so the repo stays module-dependency-free.
 //
-// Five analyzers ship with the package:
+// The analysis runs in two phases. Phase 1 is per-package and
+// incremental: the Collector walks each package's AST once and produces
+// serializable FuncFacts — direct determinism taint (wall clock, global
+// rand, goroutines, channels), allocation sites, context mints, and the
+// package's slice of the cross-package call graph. Phase 2 is
+// whole-program: BuildProgram indexes every package's facts and the
+// ProgramAnalyzers propagate them over the call graph from two root
+// sets — the deterministic simulator packages, and the serving layer's
+// HTTP handlers.
+//
+// Five per-package analyzers ship with the package:
 //
 //   - norealtime:   no wall-clock time in simulation code
 //   - noglobalrand: no math/rand global-stream functions outside tests
@@ -13,8 +23,19 @@
 //   - hotclosure:   no closure-based Engine.At/After in hot simulator
 //     packages; use the typed AtCall/AfterCall variants
 //
-// The driver (cmd/gmtlint) loads packages with Loader, runs analyzers
-// through Run, and honors //lint:ignore suppression comments.
+// plus three whole-program analyzers:
+//
+//   - detflow:  determinism taint transitively reachable from simulator
+//     roots, reported with the full call chain
+//   - ctxflow:  context.Background()/TODO() minted on serve request
+//     paths, and blocking sim entry points called under a held mutex
+//   - hotalloc: allocation sites statically reachable from
+//     //gmt:hotpath functions gated at 0 allocs/op
+//
+// The driver (cmd/gmtlint) loads packages with Loader, runs everything
+// through RunAll, and honors //lint:ignore suppression comments (which
+// must name a known analyzer and carry a reason; unused directives are
+// themselves reported).
 package lint
 
 import (
@@ -59,16 +80,71 @@ func (p *Pass) Reportf(pos token.Pos, msg string) {
 	p.Report(Diagnostic{Pos: pos, Message: msg})
 }
 
-// All returns every analyzer the suite ships, in stable order.
+// All returns every per-package analyzer the suite ships, in stable
+// order.
 func All() []*Analyzer {
 	return []*Analyzer{NoRealTime, NoGlobalRand, MapOrder, NoGoroutine, HotClosure}
 }
 
-// pkgFunc resolves a selector like time.Now to the package-level function
-// it names, or nil when the selector is something else (method call,
-// field, non-function object).
-func pkgFunc(info *types.Info, sel *ast.SelectorExpr) *types.Func {
-	fn, ok := info.Uses[sel.Sel].(*types.Func)
+// ProgramAnalyzer is a whole-program check: it runs once over the
+// phase-2 Program (cross-package call graph plus per-function facts)
+// instead of package by package.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *ProgramPass) error
+}
+
+// ProgramPass hands the assembled program to a whole-program analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Program  *Program
+
+	// DetRoot reports packages whose every function is a determinism
+	// root; ServeRoot reports packages whose HTTP-handler-shaped
+	// functions are request-path roots. Either may be nil.
+	DetRoot   func(pkgPath string) bool
+	ServeRoot func(pkgPath string) bool
+
+	// Report records one diagnostic.
+	Report func(ProgramDiagnostic)
+}
+
+// ProgramDiagnostic is one whole-program finding: a resolved position
+// plus the call chain from the analysis root to the violation.
+type ProgramDiagnostic struct {
+	Pos     token.Position
+	Message string
+	Chain   []ChainStep
+}
+
+// AllProgram returns every whole-program analyzer, in stable order.
+func AllProgram() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{DetFlow, CtxFlow, HotAlloc}
+}
+
+// KnownAnalyzerNames returns the set of names //lint:ignore directives
+// may reference: every shipped analyzer plus the hygiene checks.
+func KnownAnalyzerNames() map[string]bool {
+	names := map[string]bool{
+		BadIgnoreName:    true,
+		UnusedIgnoreName: true,
+	}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	for _, a := range AllProgram() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// pkgLevelFunc resolves an identifier use to the package-level function
+// it names, or nil for methods, locals, and non-function objects. Works
+// for the Sel of a qualified reference (time.Now, t.Now under an
+// aliased import) and for bare identifiers from dot-imports.
+func pkgLevelFunc(info *types.Info, id *ast.Ident) *types.Func {
+	fn, ok := info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return nil
 	}

@@ -95,3 +95,52 @@ func TestLoaderLoadsModule(t *testing.T) {
 		}
 	}
 }
+
+// TestModuleClean runs the full two-phase suite over the enclosing
+// module exactly as cmd/gmtlint does and requires zero findings. This
+// pins the tree's lint-clean state — in particular that the hot paths
+// (//gmt:hotpath in core, tier, gpu, sim) carry no statically reachable
+// allocation sites and that every //lint:ignore directive still earns
+// its keep.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &lint.Collector{
+		Fset: loader.Fset(),
+		Within: func(path string) bool {
+			return path == loader.Module || strings.HasPrefix(path, loader.Module+"/")
+		},
+	}
+	var facts []*lint.PackageFacts
+	for _, p := range pkgs {
+		facts = append(facts, coll.Package(p))
+	}
+	findings, err := lint.RunAll(loader.Fset(), pkgs, lint.RunConfig{
+		Analyzers:        lint.All(),
+		ProgramAnalyzers: lint.AllProgram(),
+		Program:          lint.BuildProgram(facts),
+		Scope:            lint.DefaultScope(loader.Module),
+		DetRoot:          lint.DefaultDetRoot(loader.Module),
+		ServeRoot:        lint.DefaultServeRoot(loader.Module),
+		Hygiene:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+	}
+}

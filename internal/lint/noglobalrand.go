@@ -27,17 +27,20 @@ var NoGlobalRand = &Analyzer{
 }
 
 func runNoGlobalRand(pass *Pass) error {
+	// Ident-based matching, like norealtime: catches aliased imports,
+	// dot-imports, and method-value references alongside plain
+	// rand.Intn(...) calls.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			fn := pkgFunc(pass.Info, sel)
+			fn := pkgLevelFunc(pass.Info, id)
 			if fn == nil || !globalRandPkg(fn.Pkg().Path()) || globalRandExempt[fn.Name()] {
 				return true
 			}
-			pass.Reportf(sel.Pos(), fmt.Sprintf(
+			pass.Reportf(id.Pos(), fmt.Sprintf(
 				"rand.%s draws from the process-global stream and breaks seed-reproducibility; "+
 					"inject a seeded *rand.Rand", fn.Name()))
 			return true

@@ -33,17 +33,21 @@ var NoRealTime = &Analyzer{
 }
 
 func runNoRealTime(pass *Pass) error {
+	// Ident-based matching: every use of a package time function is an
+	// *ast.Ident resolved through Info.Uses, whether it is spelled
+	// time.Now, t.Now (aliased import), Now (dot-import), or referenced
+	// as a method value (f := time.Now).
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			fn := pkgFunc(pass.Info, sel)
+			fn := pkgLevelFunc(pass.Info, id)
 			if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
 				return true
 			}
-			pass.Reportf(sel.Pos(), fmt.Sprintf(
+			pass.Reportf(id.Pos(), fmt.Sprintf(
 				"wall-clock call time.%s in simulation code; use the virtual clock (sim.Time, Engine.Now/After/At)",
 				fn.Name()))
 			return true

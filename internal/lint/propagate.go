@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Program is the phase-2 view: every function's facts from every
+// package, indexed for call-graph traversal. Interface call edges are
+// resolved class-hierarchy style — an iface edge reaches every concrete
+// method in the program with the same name and receiver-less signature.
+type Program struct {
+	Funcs map[FuncID]*FuncFacts
+	// methodImpl maps "name\x00signature" to the concrete methods
+	// implementing it, sorted for deterministic traversal.
+	methodImpl map[string][]FuncID
+	// byFile maps a file path to its functions, sorted by StartOff, for
+	// enclosing-function lookup.
+	byFile map[string][]*FuncFacts
+	// closure caches the transitive fact computation.
+	closure map[FuncID]Fact
+}
+
+// BuildProgram assembles the whole-program index from per-package fact
+// sets (phase-1 output, possibly loaded from cache).
+func BuildProgram(all []*PackageFacts) *Program {
+	p := &Program{
+		Funcs:      make(map[FuncID]*FuncFacts),
+		methodImpl: make(map[string][]FuncID),
+		byFile:     make(map[string][]*FuncFacts),
+	}
+	for _, pf := range all {
+		for _, f := range pf.Funcs {
+			p.Funcs[f.ID] = f
+			if f.Method != "" {
+				key := f.Method + "\x00" + f.Sig
+				p.methodImpl[key] = append(p.methodImpl[key], f.ID)
+			}
+			p.byFile[f.File] = append(p.byFile[f.File], f)
+		}
+	}
+	for key := range p.methodImpl {
+		ids := p.methodImpl[key]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	for file := range p.byFile {
+		fns := p.byFile[file]
+		sort.Slice(fns, func(i, j int) bool { return fns[i].StartOff < fns[j].StartOff })
+	}
+	return p
+}
+
+// Callees resolves one edge to the in-program functions it can reach.
+func (p *Program) Callees(e Edge) []FuncID {
+	switch e.Kind {
+	case EdgeStatic, EdgeRef:
+		if _, ok := p.Funcs[e.Callee]; ok {
+			return []FuncID{e.Callee}
+		}
+	case EdgeIface:
+		return p.methodImpl[e.Method+"\x00"+e.Sig]
+	}
+	return nil
+}
+
+// FuncAt returns the innermost function whose source range contains the
+// given file offset, or nil.
+func (p *Program) FuncAt(file string, offset int) *FuncFacts {
+	var best *FuncFacts
+	for _, f := range p.byFile[file] {
+		if f.StartOff <= offset && offset < f.EndOff {
+			best = f // sorted by start; later matches are inner
+		}
+	}
+	return best
+}
+
+// SortedIDs returns every function ID in deterministic order.
+func (p *Program) SortedIDs() []FuncID {
+	ids := make([]FuncID, 0, len(p.Funcs))
+	for id := range p.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Closure computes, for every function, the union of transitive fact
+// bits it can reach through any call path (its own direct bits
+// included). The result is cached on the Program.
+func (p *Program) Closure() map[FuncID]Fact {
+	if p.closure != nil {
+		return p.closure
+	}
+	ids := p.SortedIDs()
+	cl := make(map[FuncID]Fact, len(ids))
+	for _, id := range ids {
+		cl[id] = p.Funcs[id].Flags & transitiveFacts
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			acc := cl[id]
+			for _, e := range p.Funcs[id].Calls {
+				for _, callee := range p.Callees(e) {
+					acc |= cl[callee]
+				}
+			}
+			if acc != cl[id] {
+				cl[id] = acc
+				changed = true
+			}
+		}
+	}
+	p.closure = cl
+	return cl
+}
+
+// ReachEntry records how BFS first reached a function: the predecessor
+// and the edge taken, for chain reconstruction. Roots have Pred "".
+type ReachEntry struct {
+	Pred  FuncID
+	Edge  Edge
+	Depth int
+}
+
+// Reach runs a deterministic BFS from the given roots. follow filters
+// edges (by kind, lock state) and callees (e.g. stop at //gmt:coldpath
+// barriers); nil follows everything.
+func (p *Program) Reach(roots []FuncID, follow func(e Edge, callee *FuncFacts) bool) map[FuncID]ReachEntry {
+	sorted := append([]FuncID(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	reach := make(map[FuncID]ReachEntry)
+	var queue []FuncID
+	for _, r := range sorted {
+		if _, ok := p.Funcs[r]; !ok {
+			continue
+		}
+		if _, seen := reach[r]; seen {
+			continue
+		}
+		reach[r] = ReachEntry{}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		depth := reach[id].Depth
+		for _, e := range p.Funcs[id].Calls {
+			for _, calleeID := range p.Callees(e) {
+				if _, seen := reach[calleeID]; seen {
+					continue
+				}
+				callee := p.Funcs[calleeID]
+				if follow != nil && !follow(e, callee) {
+					continue
+				}
+				reach[calleeID] = ReachEntry{Pred: id, Edge: e, Depth: depth + 1}
+				queue = append(queue, calleeID)
+			}
+		}
+	}
+	return reach
+}
+
+// ChainStep is one hop of a reported call chain.
+type ChainStep struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// Chain reconstructs the root→id call path from a Reach result.
+func (p *Program) Chain(reach map[FuncID]ReachEntry, id FuncID) []ChainStep {
+	var rev []FuncID
+	for cur := id; ; {
+		rev = append(rev, cur)
+		entry, ok := reach[cur]
+		if !ok || entry.Pred == "" {
+			break
+		}
+		cur = entry.Pred
+	}
+	chain := make([]ChainStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		f := p.Funcs[rev[i]]
+		chain = append(chain, ChainStep{Name: pkgBase(f.Pkg) + "." + f.Name, File: f.File, Line: f.Line})
+	}
+	return chain
+}
+
+// pkgBase shortens an import path to its final element for display.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// FormatChain renders a chain as "a → b → c" for diagnostics.
+func FormatChain(chain []ChainStep) string {
+	parts := make([]string, len(chain))
+	for i, s := range chain {
+		parts[i] = s.Name
+	}
+	return strings.Join(parts, " → ")
+}

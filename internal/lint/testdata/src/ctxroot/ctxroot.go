@@ -1,0 +1,72 @@
+// Package ctxroot exercises ctxflow: context mints and under-mutex
+// blocking calls on paths reachable from a request root.
+package ctxroot
+
+import (
+	"context"
+	"sync"
+)
+
+var mu sync.Mutex
+
+//gmt:requestroot
+func Handle(ctx context.Context) {
+	defaulted(nil)
+	drop()
+	relay(ctx)
+	locked()
+	unlocked()
+	branchy(true)
+}
+
+// The sanctioned nil-guard default: callers that pass a context keep
+// it; only a nil caller gets Background. No finding.
+func defaulted(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = ctx
+}
+
+// Minting with no context in scope.
+func drop() {
+	ctx := context.Background() // want `context\.Background\(\) minted on a request path; thread the request context through instead; call path: ctxroot\.Handle → ctxroot\.drop`
+	_ = ctx
+}
+
+// Minting while a context parameter is right there.
+func relay(ctx context.Context) {
+	ctx2 := context.TODO() // want `context\.TODO\(\) minted on a request path; the function already receives a context\.Context — pass it on \(context\.WithoutCancel for work that outlives the request\); call path: ctxroot\.Handle → ctxroot\.relay`
+	_ = ctx
+	_ = ctx2
+}
+
+// A blocking simulation entry point.
+//
+//gmt:blocking
+func RunSim() {}
+
+func locked() {
+	mu.Lock()
+	RunSim() // want `blocking simulation entry point RunSim called while holding a mutex on a request path; release the lock before running simulations; call path: ctxroot\.Handle → ctxroot\.locked`
+	mu.Unlock()
+}
+
+// Lock fully released before the blocking call: clean.
+func unlocked() {
+	mu.Lock()
+	mu.Unlock()
+	RunSim()
+}
+
+// Early-unlock-and-return branch: by the time RunSim runs, every
+// surviving path has released the lock. Clean.
+func branchy(x bool) {
+	mu.Lock()
+	if x {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+	RunSim()
+}

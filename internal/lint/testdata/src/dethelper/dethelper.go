@@ -1,0 +1,34 @@
+// Package dethelper is the taint side of the detflow paired fixture:
+// per-package analyzers scoped to the root package cannot see these
+// sites, but whole-program propagation reports them with the chain.
+package dethelper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Source is dispatched through an interface in the root package.
+type Source interface {
+	Refresh()
+}
+
+// Timer is the one concrete Source in the program.
+type Timer struct{}
+
+func (Timer) Refresh() {
+	go func() {}() // want `go statement \(goroutine spawn\) is reachable from deterministic simulation code; call path: detroot\.Spawn → dethelper\.\(Timer\)\.Refresh`
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time\.Now is reachable from deterministic simulation code; call path: detroot\.Tick → dethelper\.Stamp`
+}
+
+func Draw() float64 {
+	return rand.Float64() // want `global-stream call rand\.Float64 is reachable from deterministic simulation code; call path: detroot\.Sample → dethelper\.Draw`
+}
+
+// Pure is deterministic: no findings anywhere on its chain.
+func Pure(x int) int {
+	return x * x
+}

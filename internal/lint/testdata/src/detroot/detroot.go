@@ -1,0 +1,37 @@
+// Package detroot is the root side of the detflow paired fixture: it is
+// itself clean — per-package norealtime/noglobalrand find nothing here —
+// but every root reaches taint in the dethelper package one hop away.
+package detroot
+
+import "dethelper"
+
+// Direct cross-package call chain.
+//
+//gmt:detroot
+func Tick() int64 {
+	return dethelper.Stamp()
+}
+
+// Chain through a function value: the reference is an edge even though
+// the call happens through a local variable.
+//
+//gmt:detroot
+func Sample() float64 {
+	f := dethelper.Draw
+	return f()
+}
+
+// Chain through an interface method: resolved against every concrete
+// implementation in the program (here, dethelper.Timer).
+//
+//gmt:detroot
+func Spawn(s dethelper.Source) {
+	s.Refresh()
+}
+
+// Clean root: calling a clean helper produces nothing.
+//
+//gmt:detroot
+func Quiet() int {
+	return dethelper.Pure(2)
+}

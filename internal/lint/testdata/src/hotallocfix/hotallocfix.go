@@ -1,0 +1,38 @@
+// Package hotallocfix exercises hotalloc: every allocation kind on a
+// path statically reachable from a //gmt:hotpath root, plus the two
+// exemptions (amortized field append, //gmt:coldpath barrier).
+package hotallocfix
+
+type pair struct{ a, b int }
+
+type engine struct {
+	buf []int
+}
+
+// Field appends grow long-lived storage amortized — exempt.
+//
+//gmt:hotpath
+func (e *engine) Step(x int) {
+	e.buf = append(e.buf, x)
+	work(x)
+	slow()
+}
+
+func work(x int) {
+	m := make([]int, x)          // want `make allocates on a 0-allocs/op hot path; call path: hotallocfix\.\(\*engine\)\.Step → hotallocfix\.work`
+	var local []int              //
+	local = append(local, x)     // want `append to function-local slice local allocates per call on a 0-allocs/op hot path`
+	f := func() int { return x } // want `capturing closure allocates its environment on a 0-allocs/op hot path`
+	p := &pair{a: x}             // want `&pair composite literal allocates on a 0-allocs/op hot path`
+	sink(x)                      // want `interface boxing: int value converted to interface\{\} allocates on a 0-allocs/op hot path`
+	_, _, _, _ = m, local, f, p
+}
+
+func sink(v interface{}) { _ = v }
+
+// Amortized growth: allocations behind a coldpath barrier are exempt.
+//
+//gmt:coldpath
+func slow() {
+	_ = make([]int, 64)
+}

@@ -1,0 +1,34 @@
+// Package hygiene exercises //lint:ignore directive hygiene: a
+// well-formed directive suppresses; a reasonless or unknown-analyzer
+// directive is inert and reported by badignore; a directive that
+// suppresses nothing is reported by unusedignore.
+package hygiene
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Well-formed and load-bearing: suppresses, no hygiene finding.
+func ok() int {
+	//lint:ignore noglobalrand fixture helper; determinism is irrelevant here
+	return rand.Intn(3)
+}
+
+// Missing reason: inert, the finding survives, badignore fires.
+func reasonless() time.Time {
+	//lint:ignore norealtime
+	return time.Now()
+}
+
+// Unknown analyzer name: inert, the finding survives, badignore fires.
+func unknown() time.Time {
+	//lint:ignore notananalyzer the analyzer was renamed out from under this
+	return time.Now()
+}
+
+// Stale: well-formed but suppresses nothing, unusedignore fires.
+func stale() int {
+	//lint:ignore norealtime leftover from a removed time.Now call
+	return 1
+}

@@ -1,0 +1,9 @@
+package noglobalrand
+
+import mrand "math/rand"
+
+// Aliased imports must not hide global-stream draws.
+func aliased() float64 {
+	_ = mrand.Intn(3)      // want `rand\.Intn draws from the process-global stream`
+	return mrand.Float64() // want `rand\.Float64 draws from the process-global stream`
+}

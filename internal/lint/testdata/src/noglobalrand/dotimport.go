@@ -1,0 +1,12 @@
+package noglobalrand
+
+import . "math/rand"
+
+// Dot-imports turn qualified calls into bare identifiers; matching is
+// object-based, so they are still flagged. Constructor calls for
+// injected streams stay exempt even when dot-imported.
+func dotted() int {
+	rng := New(NewSource(7))
+	_ = Float64()                  // want `rand\.Float64 draws from the process-global stream`
+	return Intn(10) + rng.Intn(10) // want `rand\.Intn draws from the process-global stream`
+}

@@ -1,0 +1,9 @@
+package norealtime
+
+import t "time"
+
+// Aliased imports must not hide wall-clock calls.
+func aliased() t.Time {
+	t.Sleep(t.Millisecond) // want `wall-clock call time\.Sleep`
+	return t.Now()         // want `wall-clock call time\.Now`
+}

@@ -1,0 +1,11 @@
+package norealtime
+
+import . "time"
+
+// Dot-imports turn qualified calls into bare identifiers; matching is
+// object-based, so they are still flagged.
+func dotted() Duration {
+	start := Now()      // want `wall-clock call time\.Now`
+	Sleep(1)            // want `wall-clock call time\.Sleep`
+	return Since(start) // want `wall-clock call time\.Since`
+}

@@ -1,0 +1,10 @@
+package norealtime
+
+import "time"
+
+// A function-value reference smuggles the wall clock just as well as a
+// direct call.
+func methodValue() time.Time {
+	f := time.Now // want `wall-clock call time\.Now`
+	return f()
+}

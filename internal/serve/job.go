@@ -137,8 +137,10 @@ func jobID(key string) string {
 
 // buildJob validates a request and binds its executor closure; the
 // returned job is not yet admitted. Validation failures come back as
-// error for a 400.
-func (s *Server) buildJob(req *SubmitRequest) (*job, error) {
+// error for a 400. reqCtx is the submitting request's context: the job
+// inherits its values but not its cancellation — a job outlives the
+// submit request by design (the client polls for the result).
+func (s *Server) buildJob(reqCtx context.Context, req *SubmitRequest) (*job, error) {
 	var key string
 	var run func(ctx context.Context) ([]byte, error)
 	var err error
@@ -159,7 +161,7 @@ func (s *Server) buildJob(req *SubmitRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
+	ctx := context.WithoutCancel(reqCtx)
 	var cancel context.CancelFunc = func() {}
 	if req.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -282,7 +284,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	j, err := s.buildJob(&req)
+	j, err := s.buildJob(r.Context(), &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -172,6 +172,8 @@ func (e *Engine) Pending() int { return e.pending }
 // synchronous-completion fast path consults before advancing time
 // inline: AdvanceTo(t) is legal only while Peek is absent or strictly
 // later than t (see HACKING.md, "Scheduler determinism contract").
+//
+//gmt:hotpath
 func (e *Engine) Peek() (Time, bool) {
 	if e.pending == 0 {
 		return 0, false
@@ -188,6 +190,8 @@ func (e *Engine) Peek() (Time, bool) {
 // due at or before t; violating that would let the inline advance
 // reorder the dispatch sequence, so it is asserted under -tags
 // gmtinvariants. A backwards target panics unconditionally.
+//
+//gmt:hotpath
 func (e *Engine) AdvanceTo(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: AdvanceTo target %d behind clock %d", t, e.now))
@@ -213,11 +217,15 @@ func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, nil, nil, 0, fn)
 // AtCall schedules call(ctx, arg) at virtual time t. Unlike At, this
 // path performs no allocation in steady state: the callback is a shared
 // function value and the context travels as a pointer.
+//
+//gmt:hotpath
 func (e *Engine) AtCall(t Time, call EventFunc, ctx any, arg int64) {
 	e.schedule(t, call, ctx, arg, nil)
 }
 
 // AfterCall schedules call(ctx, arg) d nanoseconds from now.
+//
+//gmt:hotpath
 func (e *Engine) AfterCall(d Time, call EventFunc, ctx any, arg int64) {
 	e.schedule(e.now+d, call, ctx, arg, nil)
 }
@@ -405,6 +413,9 @@ func (e *Engine) releaseRecord(id int32) {
 // Run dispatches events until none remain, advancing the clock. On
 // completion it asserts event-pool conservation (gmtinvariants builds):
 // every acquired record must have been released back to the free list.
+//
+//gmt:hotpath
+//gmt:blocking
 func (e *Engine) Run() {
 	for e.pending > 0 {
 		e.step()
@@ -421,6 +432,9 @@ func (e *Engine) Run() {
 // A target behind the current clock panics: the clock is monotonic, and
 // a backwards target always indicates a harness bug (the same
 // invariant the dispatcher asserts per event under -tags gmtinvariants).
+//
+//gmt:hotpath
+//gmt:blocking
 func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil target %d behind clock %d", t, e.now))

@@ -91,6 +91,8 @@ func (x *pageIndex) del(p PageID) {
 }
 
 // grow extends the index to at least n entries, doubling to amortize.
+//
+//gmt:coldpath
 func (x *pageIndex) grow(n int64) {
 	size := int64(len(x.v))
 	if size < 64 {
@@ -158,12 +160,16 @@ func (c *Clock) Reserve(n int) {
 }
 
 // Insert adds p with its reference bit set.
+//
+//gmt:hotpath
 func (c *Clock) Insert(p PageID) { c.InsertSlot(p) }
 
 // InsertSlot adds p and reports the slot it landed in. The slot stays
 // valid until p is removed, so a caller that keeps page metadata can
 // cache it and use TouchSlot on its hit path, skipping the page-index
 // lookup.
+//
+//gmt:hotpath
 func (c *Clock) InsertSlot(p PageID) int32 {
 	if c.index.get(p) != noSlot {
 		panic(fmt.Sprintf("tier: page %d already in clock", p))
@@ -193,6 +199,8 @@ func (c *Clock) checkSlots() {
 }
 
 // Touch sets p's reference bit; it is a no-op if p is absent.
+//
+//gmt:hotpath
 func (c *Clock) Touch(p PageID) {
 	if i := c.index.get(p); i != noSlot {
 		c.TouchSlot(i)
@@ -206,6 +214,8 @@ func (c *Clock) Touch(p PageID) {
 // every time, and skipping the redundant store turns a serialized
 // read-modify-write chain on the shared bitmap word into an independent
 // (pipelineable) load per access.
+//
+//gmt:hotpath
 func (c *Clock) TouchSlot(s int32) {
 	if bit := uint64(1) << (uint(s) & 63); c.ref[s>>6]&bit == 0 {
 		c.ref[s>>6] |= bit
@@ -213,6 +223,8 @@ func (c *Clock) TouchSlot(s int32) {
 }
 
 // Remove deletes p.
+//
+//gmt:hotpath
 func (c *Clock) Remove(p PageID) bool {
 	i := c.index.get(p)
 	if i == noSlot {
@@ -240,6 +252,8 @@ func (c *Clock) Remove(p PageID) bool {
 // fully-referenced clock clears the whole map on the first lap and
 // selects on the second — the same victim the slot-at-a-time loop
 // finds, two orders of magnitude fewer memory operations.
+//
+//gmt:hotpath
 func (c *Clock) Victim() PageID {
 	if c.n == 0 {
 		panic("tier: victim from empty clock")
@@ -271,6 +285,8 @@ func (c *Clock) Victim() PageID {
 // reference bit is set again and the hand moves past it. GMT-Reuse uses
 // this when a candidate's predicted reuse is "short" (§2.1.3: retain in
 // GPU memory and run another round of clock).
+//
+//gmt:hotpath
 func (c *Clock) Reject(p PageID) {
 	i := c.index.get(p)
 	if i == noSlot {
@@ -327,7 +343,11 @@ func NewFIFO(capacity int) *FIFO {
 	return &FIFO{capacity: capacity}
 }
 
-// Reserve presizes the residency index for an n-page footprint.
+// Reserve presizes the residency index for an n-page footprint. Growth
+// from the insert path doubles (growSize), so it is amortized off the
+// per-access steady state.
+//
+//gmt:coldpath
 func (f *FIFO) Reserve(n int) {
 	if n > len(f.resident) {
 		nv := make([]bool, n)
@@ -341,6 +361,8 @@ func (f *FIFO) isResident(p PageID) bool {
 }
 
 // Insert adds p at the tail.
+//
+//gmt:hotpath
 func (f *FIFO) Insert(p PageID) {
 	if p < 0 {
 		panic(fmt.Sprintf("tier: negative page id %d", p))
@@ -376,6 +398,8 @@ func growSize(have, need int) int {
 }
 
 // Remove deletes p (leaving a tombstone in the queue).
+//
+//gmt:hotpath
 func (f *FIFO) Remove(p PageID) bool {
 	if !f.isResident(p) {
 		return false
@@ -386,6 +410,8 @@ func (f *FIFO) Remove(p PageID) bool {
 }
 
 // Victim reports the oldest resident page.
+//
+//gmt:hotpath
 func (f *FIFO) Victim() PageID {
 	f.skipDead()
 	if f.head >= len(f.queue) {
@@ -407,6 +433,8 @@ func (f *FIFO) skipDead() {
 // mid-queue entries, which changes where a later re-insert of those
 // pages lands, so when it fires is part of the replacement order and
 // must not depend on how the consumed prefix is represented.
+//
+//gmt:coldpath
 func (f *FIFO) compact() {
 	if n := len(f.queue) - f.head; n < 2*f.capacity || n < 64 {
 		return
