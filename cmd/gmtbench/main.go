@@ -8,17 +8,19 @@
 //
 // Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10,
 // fig11, fig12, fig13, fig14, oracle, ext, ssd, predictors, warmup,
-// util, and all (the default).
+// util, kvserve, and all (the default).
 //
 // Flags:
 //
 //	-t1 N        Tier-1 capacity in 64 KiB pages (default 1024 ≈ paper's 16 GB / 256)
 //	-t2 N        Tier-2 capacity in pages (default 4096)
 //	-osf F       oversubscription factor (default 2)
+//	-dataseed N  dataset-synthesis seed for the Kronecker graph and the
+//	             KV-serving request mix (default 42)
 //	-quick       quarter-scale run (fast smoke of every experiment)
 //	-json        emit rows as JSON instead of rendered tables
 //	-svg DIR     additionally write SVG figures (fig6, fig8, fig9, fig12,
-//	             fig14, ssd) into DIR
+//	             fig14, ssd, kvserve) into DIR
 //	-parallel N  worker goroutines prewarming traces and simulations
 //	             (default GOMAXPROCS; 1 = fully sequential). Output is
 //	             byte-identical for any N: workers only fill the result
@@ -130,6 +132,7 @@ func main() {
 	t1 := flag.Int("t1", 1024, "Tier-1 capacity in 64 KiB pages")
 	t2 := flag.Int("t2", 4096, "Tier-2 capacity in 64 KiB pages")
 	osf := flag.Float64("osf", 2, "oversubscription factor")
+	dataseed := flag.Int64("dataseed", 42, "dataset-synthesis seed (Kronecker graph, KV-serving mix)")
 	quick := flag.Bool("quick", false, "quarter-scale fast run")
 	jsonOut := flag.Bool("json", false, "emit rows as JSON")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into")
@@ -193,7 +196,7 @@ func main() {
 		}
 	}
 
-	scale := workload.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf}
+	scale := workload.Scale{Tier1Pages: *t1, Tier2Pages: *t2, Oversubscription: *osf, DatasetSeed: *dataseed}
 	if *quick {
 		scale.Tier1Pages = *t1 / 4
 		scale.Tier2Pages = *t2 / 4

@@ -17,6 +17,8 @@
 //	                 submissions get 429 + Retry-After (default 64)
 //	-job-parallel N  exp pool workers inside one experiment job (default 1)
 //	-cache N         finished jobs retained as the result cache (default 256)
+//	-cold-latency D  assumed per-job latency for Retry-After before the
+//	                 first job completes (default 2s)
 //	-version         print version and exit
 //
 // API (JSON unless noted):
@@ -56,6 +58,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	jobParallel := flag.Int("job-parallel", 1, "exp pool workers inside one experiment job")
 	cache := flag.Int("cache", 256, "finished jobs retained as the result cache")
+	coldLatency := flag.Duration("cold-latency", 2*time.Second,
+		"assumed per-job latency for Retry-After before the first job completes")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -68,11 +72,12 @@ func main() {
 	// binary injects a monotonic nanosecond clock anchored at startup.
 	start := time.Now()
 	s := serve.New(serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobParallelism: *jobParallel,
-		CacheEntries:   *cache,
-		Clock:          func() int64 { return int64(time.Since(start)) },
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		JobParallelism:   *jobParallel,
+		CacheEntries:     *cache,
+		ColdStartLatency: *coldLatency,
+		Clock:            func() int64 { return int64(time.Since(start)) },
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -94,6 +94,10 @@ type Scale struct {
 	Tier1Pages       int
 	Tier2Pages       int
 	Oversubscription float64
+	// DatasetSeed seeds dataset synthesis (Kronecker graph generation,
+	// the KV-serving request mix). Zero means the historical default
+	// seed 42, so existing scales produce byte-identical datasets.
+	DatasetSeed int64
 }
 
 // DefaultScale is the paper's default configuration (Tier-2 = 4x
@@ -109,6 +113,7 @@ func (s Scale) internal() workload.Scale {
 		Tier1Pages:       s.Tier1Pages,
 		Tier2Pages:       s.Tier2Pages,
 		Oversubscription: s.Oversubscription,
+		DatasetSeed:      s.DatasetSeed,
 	}
 }
 
@@ -147,6 +152,18 @@ type Config struct {
 	// many accesses into Result.History (GMT policies only). Useful
 	// for warmup curves.
 	HistorySample int
+
+	// Tier2Policy selects the Tier-2 replacement policy by name
+	// ("clock", "fifo", "lru-2", "2q"). Empty keeps the historical
+	// per-policy defaults. Ignored by BaM (no Tier-2) and HMM (the
+	// comparator manages its own page cache). Run panics on an unknown
+	// name; validate external input with tier.ParseStorePolicy via the
+	// serving API instead.
+	Tier2Policy string
+
+	// TrackTier2Reuse records time-to-first-reuse for every Tier-2
+	// reload and reports the percentiles in Result.Tier2ReuseP50/P99.
+	TrackTier2Reuse bool
 }
 
 // HistoryPoint is a cumulative metrics snapshot partway through a run.
@@ -201,6 +218,13 @@ type Result struct {
 	PredictionAccuracy float64
 	Tier2HitRate       float64
 
+	// Tier-2 time-to-first-reuse percentiles (virtual time), populated
+	// only when Config.TrackTier2Reuse is set and at least one Tier-2
+	// reload occurred; Tier2ReuseCount is the sample count.
+	Tier2ReuseP50   time.Duration
+	Tier2ReuseP99   time.Duration
+	Tier2ReuseCount int64
+
 	// History holds periodic snapshots when Config.HistorySample is
 	// set (empty otherwise).
 	History []HistoryPoint
@@ -229,6 +253,9 @@ func fromStats(m stats.Run) Result {
 		Predictions:        m.Predictions,
 		PredictionAccuracy: m.PredictionAccuracy(),
 		Tier2HitRate:       m.Tier2HitRate(),
+		Tier2ReuseP50:      time.Duration(m.Tier2ReuseP50),
+		Tier2ReuseP99:      time.Duration(m.Tier2ReuseP99),
+		Tier2ReuseCount:    m.Tier2ReuseCount,
 	}
 }
 
@@ -284,6 +311,14 @@ func RunTrace(cfg Config, name string, trace []Access) Result {
 		c.AsyncEviction = cfg.AsyncEviction
 		c.PrefetchDegree = cfg.PrefetchDegree
 		c.HistorySample = cfg.HistorySample
+		c.TrackTier2Reuse = cfg.TrackTier2Reuse
+		if cfg.Tier2Policy != "" {
+			p, err := tier.ParseStorePolicy(cfg.Tier2Policy)
+			if err != nil {
+				panic("gmt: " + err.Error())
+			}
+			c.Tier2Policy = p
+		}
 		// Presize the runtime's dense page directory to the trace's
 		// page-ID bound so the per-access path never grows it.
 		c.FootprintPages = footprint
@@ -377,6 +412,14 @@ func Suite(s Scale) []Workload {
 		out[i] = wrapped{inner: w}
 	}
 	return out
+}
+
+// KVServe builds the tiered KV-cache serving workload at the given
+// scale: an open-loop LLM-serving trace where pages are KV blocks (see
+// internal/workload's generator). It is not part of Suite's nine
+// applications; the serving-policy experiment requests it explicitly.
+func KVServe(s Scale) Workload {
+	return wrapped{inner: workload.NewKVServe(s.internal())}
 }
 
 // WorkloadNames lists the suite's application names in Table 2 order.

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/gmtsim/gmt/internal/gpu"
 	"github.com/gmtsim/gmt/internal/invariant"
@@ -203,6 +204,19 @@ type Config struct {
 	SSD       nvme.Config
 	SSDCount  int
 	HostLanes int
+
+	// Tier2Policy overrides the Tier-2 replacement policy. Empty keeps
+	// the historical per-policy defaults (Clock under PolicyTierOrder,
+	// FIFO otherwise), so existing configurations stay byte-identical.
+	// Ignored under PolicyBaM, which has no Tier-2.
+	Tier2Policy tier.StorePolicy
+
+	// TrackTier2Reuse records, for every page reloaded from Tier-2, the
+	// interval since its placement there (time-to-first-reuse). The
+	// samples feed stats.Run.Tier2ReuseP50/P99. Off by default: the
+	// sample slice grows with Tier-2 hit count, which would break the
+	// zero-alloc guarantee of runs that don't ask for it.
+	TrackTier2Reuse bool
 }
 
 // DefaultConfig mirrors the paper's default platform at 1/1024 of the
@@ -275,6 +289,9 @@ type pageState struct {
 	nextUse int64
 	// prefetched marks a speculative fill not yet demanded.
 	prefetched bool
+	// placedAt is the instant of the page's most recent Tier-2
+	// placement (Config.TrackTier2Reuse time-to-first-reuse metric).
+	placedAt sim.Time
 
 	waiters []func()
 }
@@ -330,6 +347,10 @@ type Runtime struct {
 
 	m       stats.Run
 	history []stats.Run
+
+	// reuseNS collects Tier-2 time-to-first-reuse intervals when
+	// Config.TrackTier2Reuse is set (nil otherwise).
+	reuseNS []int64
 }
 
 var _ gpu.SyncMemoryManager = (*Runtime)(nil)
@@ -369,10 +390,13 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		if cfg.Tier2Pages < 1 {
 			panic("core: Tier2Pages must be >= 1 for 3-tier policies")
 		}
-		if cfg.Policy == PolicyTierOrder {
+		switch {
+		case cfg.Tier2Policy != "":
+			rt.t2 = tier.NewStore(cfg.Tier2Policy, cfg.Tier2Pages)
+		case cfg.Policy == PolicyTierOrder:
 			// §2.1.1: clock replacement in both top tiers.
 			rt.t2 = tier.NewClock(cfg.Tier2Pages)
-		} else {
+		default:
 			// §2.2: FIFO in Tier-2 otherwise.
 			rt.t2 = tier.NewFIFO(cfg.Tier2Pages)
 		}
@@ -588,6 +612,9 @@ func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
 func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 	rt.m.Tier2Lookups++
 	rt.m.Tier2Hits++
+	if rt.cfg.TrackTier2Reuse {
+		rt.reuseNS = append(rt.reuseNS, int64(rt.eng.Now()-ps.placedAt))
+	}
 	// The page leaves Tier-2 the moment the move starts (no duplication
 	// across tiers, §2.2). Removing before the eviction triggered by
 	// beginFetch means the vacated slot is available to the victim —
@@ -945,6 +972,7 @@ func (rt *Runtime) placeInTier2(victim tier.PageID, ps *pageState, ready func())
 func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay sim.Time, ready func()) {
 	rt.t2.Insert(victim)
 	ps.loc = locTier2
+	ps.placedAt = rt.eng.Now()
 	rt.m.EvictionsToTier2++
 	rt.m.PagesToHost++
 	if rt.cfg.AsyncEviction && ready != nil {
@@ -985,6 +1013,14 @@ func (rt *Runtime) Snapshot() stats.Run {
 	if rt.sampler != nil {
 		m.RegressionBatches = int64(rt.sampler.Batches())
 		m.SamplePairs = int64(rt.sampler.Pairs())
+	}
+	if n := len(rt.reuseNS); n > 0 {
+		v := make([]int64, n)
+		copy(v, rt.reuseNS)
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		m.Tier2ReuseP50 = sim.Time(v[(n-1)*50/100])
+		m.Tier2ReuseP99 = sim.Time(v[(n-1)*99/100])
+		m.Tier2ReuseCount = int64(n)
 	}
 	return m
 }

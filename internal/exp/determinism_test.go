@@ -30,6 +30,23 @@ func TestFigure8ByteIdentical(t *testing.T) {
 	}
 }
 
+// TestKVServeByteIdentical holds the same determinism bar for the
+// KV-serving policy study: the open-loop arrival process, the four
+// Tier-2 replacement policies, and the reuse-percentile collection must
+// reproduce byte-for-byte from scratch.
+func TestKVServeByteIdentical(t *testing.T) {
+	render := func() string {
+		s := NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
+		rows, tbl := KVServe(s)
+		return tbl.Render() + fmt.Sprintf("%#v", rows)
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("two identically-seeded KV-serving runs diverged:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+}
+
 // TestParallelPrewarmByteIdentical is the parallel-path determinism
 // gate: prewarming the suite on a multi-worker pool and then rendering
 // must produce byte-identical output to a fully sequential run — the
@@ -37,7 +54,7 @@ func TestFigure8ByteIdentical(t *testing.T) {
 // be invisible. Runs with -race in CI, which also exercises the suite
 // lock under real contention.
 func TestParallelPrewarmByteIdentical(t *testing.T) {
-	experiments := []string{"fig8", "fig9", "fig14"}
+	experiments := []string{"fig8", "fig9", "fig14", "kvserve"}
 	render := func(workers int) string {
 		s := NewSuite(workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2})
 		if workers > 1 {
@@ -52,8 +69,9 @@ func TestParallelPrewarmByteIdentical(t *testing.T) {
 		rows8, tbl8 := Figure8(s)
 		rows9, tbl9 := Figure9(s)
 		rows14, tbl14 := Figure14(s)
-		return tbl8.Render() + tbl9.Render() + tbl14.Render() +
-			fmt.Sprintf("%#v%#v%#v", rows8, rows9, rows14)
+		rowsKV, tblKV := KVServe(s)
+		return tbl8.Render() + tbl9.Render() + tbl14.Render() + tblKV.Render() +
+			fmt.Sprintf("%#v%#v%#v%#v", rows8, rows9, rows14, rowsKV)
 	}
 	sequential := render(1)
 	for _, workers := range []int{2, 4} {

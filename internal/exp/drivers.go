@@ -104,6 +104,10 @@ func RunExperiment(getSuite func() *Suite, name string, svg SVGSink) (rows inter
 	case "util":
 		r, t := Utilization(getSuite())
 		return r, t.Render(), true
+	case "kvserve":
+		r, t := KVServe(getSuite())
+		svg("kvserve", KVServeSVG(r))
+		return r, t.Render(), true
 	}
 	return nil, "", false
 }

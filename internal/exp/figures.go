@@ -313,6 +313,9 @@ func appByName(s *Suite, name string) workload.Workload {
 			return w
 		}
 	}
+	if name == workload.KVServeName {
+		return s.KVApp()
+	}
 	panic("exp: unknown app " + name)
 }
 

@@ -12,7 +12,7 @@ import (
 var ExperimentNames = []string{
 	"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "oracle", "ext", "ssd",
-	"predictors", "warmup", "util",
+	"predictors", "warmup", "util", "kvserve",
 }
 
 // Job is one unit of prewarm work: a single trace generation or
@@ -182,6 +182,11 @@ func (pl *planner) addExperiment(s *Suite, name string) {
 				key, cfg := s.predictorConfig(pk)
 				pl.addConfig(s, n, key, cfg)
 			}
+		}
+	case "kvserve":
+		for _, p := range KVPolicies {
+			key, cfg := s.kvConfig(p)
+			pl.addConfig(s, workload.KVServeName, key, cfg)
 		}
 	case "warmup":
 		// The warmup study's pipelined/unpipelined runs need the

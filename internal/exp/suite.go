@@ -41,6 +41,7 @@ type Suite struct {
 
 	label string // distinguishes derived sub-suites in planner job keys
 	apps  []workload.Workload
+	kvApp workload.Workload // lazily built KV-serving workload
 
 	mu            sync.Mutex
 	traces        map[string][]gpu.Access
@@ -78,6 +79,19 @@ func NewRegularSuite(scale workload.Scale) *Suite {
 
 // Apps reports the suite's workloads.
 func (s *Suite) Apps() []workload.Workload { return s.apps }
+
+// KVApp returns the suite's KV-cache serving workload, built lazily on
+// first use (it is not part of the paper's nine-application suite, so
+// only the serving experiment pays for it). The workload memoizes its
+// own trace; Suite.Trace caches it under KVServeName like any app.
+func (s *Suite) KVApp() workload.Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kvApp == nil {
+		s.kvApp = workload.NewKVServe(s.Scale)
+	}
+	return s.kvApp
+}
 
 // Fingerprint identifies the mutable knobs results depend on. It is
 // part of every memo key, so stale results can never be returned after

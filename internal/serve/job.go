@@ -13,6 +13,7 @@ import (
 
 	"github.com/gmtsim/gmt"
 	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/tier"
 	"github.com/gmtsim/gmt/internal/workload"
 )
 
@@ -52,6 +53,9 @@ type ExperimentRequest struct {
 	Oversubscription float64 `json:"osf,omitempty"`
 	Quick            bool    `json:"quick,omitempty"`
 	Seed             int64   `json:"seed,omitempty"`
+	// DatasetSeed varies dataset synthesis (gmtbench's -dataseed);
+	// zero takes the default seed 42.
+	DatasetSeed int64 `json:"dataset_seed,omitempty"`
 }
 
 // SimRequest runs one application under one configuration. A nil
@@ -85,12 +89,14 @@ type scaleSpec struct {
 	Tier1Pages       int
 	Tier2Pages       int
 	Oversubscription float64
+	DatasetSeed      int64
 }
 
 func (sc scaleSpec) workload() (s workload.Scale) {
 	s.Tier1Pages = sc.Tier1Pages
 	s.Tier2Pages = sc.Tier2Pages
 	s.Oversubscription = sc.Oversubscription
+	s.DatasetSeed = sc.DatasetSeed
 	return s
 }
 
@@ -198,6 +204,7 @@ func (s *Server) buildExperiment(req *ExperimentRequest) (string, func(context.C
 		scale.Tier1Pages /= 4
 		scale.Tier2Pages /= 4
 	}
+	scale.DatasetSeed = req.DatasetSeed
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
@@ -240,16 +247,51 @@ func (s *Server) buildSim(req *SimRequest) (string, func(context.Context) ([]byt
 	cfg := gmt.DefaultConfig()
 	if req.Config != nil {
 		cfg = *req.Config
+		// A partial config is the normal case over JSON; zero platform
+		// fields inherit the request's scale and the paper defaults.
+		// Without this, a config that only names a policy reaches
+		// gmt.Run with Tier1Pages == 0, and the resulting panic takes
+		// the worker — and the daemon — down.
+		def := gmt.DefaultConfig()
+		if cfg.Tier1Pages == 0 {
+			cfg.Tier1Pages = scale.Tier1Pages
+		}
+		if cfg.Tier2Pages == 0 {
+			cfg.Tier2Pages = scale.Tier2Pages
+		}
+		if cfg.Warps == 0 {
+			cfg.Warps = def.Warps
+		}
+		if cfg.ComputePerAccess == 0 {
+			cfg.ComputePerAccess = def.ComputePerAccess
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = def.Seed
+		}
+	}
+	if cfg.Tier1Pages < 1 || cfg.Warps < 1 ||
+		(cfg.Tier2Pages < 1 && cfg.Policy != gmt.BaM) {
+		return "", nil, fmt.Errorf(
+			"invalid config: Tier1Pages and Warps must be >= 1, Tier2Pages >= 1 for 3-tier policies (got %d, %d, %d)",
+			cfg.Tier1Pages, cfg.Tier2Pages, cfg.Warps)
 	}
 	var w gmt.Workload
-	for _, cand := range gmt.Suite(scale) {
+	for _, cand := range append(gmt.Suite(scale), gmt.KVServe(scale)) {
 		if strings.EqualFold(cand.Name(), req.App) {
 			w = cand
 			break
 		}
 	}
 	if w == nil {
-		return "", nil, fmt.Errorf("unknown app %q; choose from %v", req.App, gmt.WorkloadNames())
+		return "", nil, fmt.Errorf("unknown app %q; choose from %v", req.App,
+			append(gmt.WorkloadNames(), workload.KVServeName))
+	}
+	// gmt.Run panics on an unknown Tier-2 policy name; validate here so
+	// a typo is a 400 at submit, not a failed job.
+	if cfg.Tier2Policy != "" {
+		if _, err := tier.ParseStorePolicy(cfg.Tier2Policy); err != nil {
+			return "", nil, err
+		}
 	}
 	key := fmt.Sprintf("sim|%s|t1=%d,t2=%d,osf=%g|%s",
 		w.Name(), scale.Tier1Pages, scale.Tier2Pages, scale.Oversubscription,

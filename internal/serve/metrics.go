@@ -22,8 +22,11 @@ type metrics struct {
 	joins            int64
 	simRuns          int64 // standalone sim-kind executions
 
-	// ewma tracks recent job latency (ns) for Retry-After estimates.
+	// ewma tracks recent job latency (ns) for Retry-After estimates;
+	// coldNS is the configured estimate served before the first sample
+	// (Options.ColdStartLatency).
 	ewma    float64
+	coldNS  float64
 	samples int64
 
 	hist histogram
@@ -41,8 +44,16 @@ func (m *metrics) observe(seconds float64) {
 	m.hist.observe(seconds)
 }
 
-// ewmaNS reports the smoothed per-job latency in nanoseconds.
-func (m *metrics) ewmaNS() float64 { return m.ewma }
+// ewmaNS reports the smoothed per-job latency in nanoseconds. Before
+// any job has completed it reports the configured cold-start estimate,
+// so Retry-After under a cold full queue reflects the real backlog
+// instead of collapsing to the 1-second floor.
+func (m *metrics) ewmaNS() float64 {
+	if m.samples == 0 {
+		return m.coldNS
+	}
+	return m.ewma
+}
 
 // histogram is a fixed-bucket Prometheus histogram of job latency in
 // seconds.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/gmtsim/gmt/internal/exp"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// CacheEntries bounds the completed jobs retained as the result
 	// cache; the oldest finished jobs are evicted first (default 256).
 	CacheEntries int
+	// ColdStartLatency seeds the per-job latency estimate used for
+	// Retry-After until the first job completes (default 2s). Without
+	// it, a cold daemon with a full queue would tell every rejected
+	// client to retry in 1 second — a synchronized stampede against a
+	// queue that cannot possibly have drained.
+	ColdStartLatency time.Duration
 	// Clock is a monotonic nanosecond clock injected by the binary
 	// (this package is banned from reading wall time). A nil clock
 	// leaves all timings zero, which tests use.
@@ -57,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 256
+	}
+	if o.ColdStartLatency <= 0 {
+		o.ColdStartLatency = 2 * time.Second
 	}
 	if o.Clock == nil {
 		o.Clock = func() int64 { return 0 }
@@ -96,6 +106,7 @@ func New(opts Options) *Server {
 	s.queue = make(chan *job, s.opts.QueueDepth)
 	s.exec = func(j *job) ([]byte, error) { return j.run(j.ctx) }
 	s.met.hist = newHistogram()
+	s.met.coldNS = float64(s.opts.ColdStartLatency.Nanoseconds())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -186,8 +197,8 @@ func (s *Server) evictLocked() {
 // the trace/result memo that makes warm experiment requests cheap, and
 // their count is bounded by the distinct scales clients ask for.
 func (s *Server) suiteFor(scale scaleSpec, seed int64) *exp.Suite {
-	key := fmt.Sprintf("t1=%d,t2=%d,osf=%g,seed=%d",
-		scale.Tier1Pages, scale.Tier2Pages, scale.Oversubscription, seed)
+	key := fmt.Sprintf("t1=%d,t2=%d,osf=%g,seed=%d,dseed=%d",
+		scale.Tier1Pages, scale.Tier2Pages, scale.Oversubscription, seed, scale.DatasetSeed)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	suite, ok := s.suites[key]

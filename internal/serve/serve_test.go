@@ -139,6 +139,36 @@ func TestQueueFullRejectsWith429RetryAfter(t *testing.T) {
 	close(release)
 }
 
+// Regression: before any job has completed the latency EWMA is empty,
+// and Retry-After used to collapse to the 1-second floor no matter how
+// full the queue was — a synchronized stampede invitation. The estimate
+// must instead be seeded from Options.ColdStartLatency.
+func TestColdStartRetryAfterNotFloor(t *testing.T) {
+	s, started, release := blockingServer(t,
+		Options{Workers: 1, QueueDepth: 1, ColdStartLatency: 10 * time.Second})
+
+	if rec := post(t, s, expBody("fig8")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d %s", rec.Code, rec.Body.String())
+	}
+	<-started
+	if rec := post(t, s, expBody("fig9")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := post(t, s, expBody("fig10"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit 3: want 429, got %d %s", rec.Code, rec.Body.String())
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer", rec.Header().Get("Retry-After"))
+	}
+	// Two pending jobs at the 10s cold estimate over one worker: ~20s.
+	if ra != 20 {
+		t.Fatalf("cold-start Retry-After = %d, want 20 (EWMA seeded from ColdStartLatency)", ra)
+	}
+	close(release)
+}
+
 func TestDrainCompletesInFlightAndRejectsNew(t *testing.T) {
 	s, started, release := blockingServer(t, Options{Workers: 1, QueueDepth: 4})
 
@@ -273,6 +303,35 @@ func TestExperimentResultMatchesCLIEncoding(t *testing.T) {
 	}
 }
 
+// Regression: a partial JSON config used to replace the entire default
+// config, so a request that only named a policy reached gmt.Run with
+// Tier1Pages == 0 — the panic killed the worker goroutine and with it
+// the daemon. Zero platform fields must inherit the request's scale
+// and the defaults instead.
+func TestSimPartialConfigRunsWithDefaults(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	defer s.Drain()
+
+	body := `{"kind":"sim","sim":{"app":"KVServe",` +
+		`"scale":{"Tier1Pages":64,"Tier2Pages":256,"Oversubscription":2,"DatasetSeed":7},` +
+		`"config":{"Policy":"GMT-TierOrder","Tier2Policy":"2q","TrackTier2Reuse":true}}}`
+	rec := post(t, s, body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	v := decodeStatus(t, rec)
+	waitStatus(t, s, v.ID, StatusDone)
+	var res struct {
+		Tier2ReuseCount int64
+	}
+	if err := json.Unmarshal(get(t, s, "/v1/jobs/"+v.ID+"/result").Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier2ReuseCount == 0 {
+		t.Fatal("TrackTier2Reuse produced no reuse samples on the KVServe trace")
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	defer s.Drain()
@@ -284,6 +343,8 @@ func TestSubmitValidation(t *testing.T) {
 		`{"kind":"experiment","experiment":{"name":"nope"}}`,
 		`{"kind":"sim","sim":{"app":"nope"}}`,
 		`{"kind":"sim","sim":{"app":"BFS"},"surprise":1}`,
+		`{"kind":"sim","sim":{"app":"BFS","config":{"Tier2Policy":"mru"}}}`,
+		`{"kind":"sim","sim":{"app":"BFS","config":{"Tier1Pages":-1}}}`,
 	} {
 		if rec := post(t, s, body); rec.Code != http.StatusBadRequest {
 			t.Errorf("submit %s: want 400, got %d %s", body, rec.Code, rec.Body.String())

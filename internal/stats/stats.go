@@ -56,6 +56,15 @@ type Run struct {
 	// memory-stall time across all warps.
 	WarpComputeNS int64
 	WarpStallNS   int64
+
+	// Tier-2 reuse latency: time from a page's placement in host memory
+	// to its first reload into Tier-1, in simulated time. Collected only
+	// when Config.TrackTier2Reuse is set (the KV-serving policy study);
+	// zero otherwise. Tier2ReuseCount is the number of reuse intervals
+	// the percentiles summarize.
+	Tier2ReuseP50   sim.Time
+	Tier2ReuseP99   sim.Time
+	Tier2ReuseCount int64
 }
 
 // GPUUtilization reports the fraction of warp time spent computing

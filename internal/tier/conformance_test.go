@@ -1,0 +1,437 @@
+package tier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// storeImpl names one Store implementation for the conformance suite.
+type storeImpl struct {
+	name string
+	mk   func(capacity int) Store
+}
+
+// storeImpls lists every Store implementation in a fixed order; every
+// conformance subtest runs over all of them.
+func storeImpls() []storeImpl {
+	return []storeImpl{
+		{"clock", func(c int) Store { return NewClock(c) }},
+		{"fifo", func(c int) Store { return NewFIFO(c) }},
+		{"lru-2", func(c int) Store { return NewLRUK(c) }},
+		{"2q", func(c int) Store { return NewTwoQ(c) }},
+	}
+}
+
+// TestStoreConformance is the shared contract suite: every Store
+// implementation must satisfy the interface's accounting, panic, and
+// iteration-order guarantees identically.
+func TestStoreConformance(t *testing.T) {
+	for _, im := range storeImpls() {
+		im := im
+		t.Run(im.name+"/accounting", func(t *testing.T) {
+			s := im.mk(4)
+			s.Reserve(64)
+			for p := PageID(0); p < 4; p++ {
+				s.Insert(p * 3)
+			}
+			if !s.Full() || s.Len() != 4 || s.Capacity() != 4 {
+				t.Fatalf("full-store accounting broken: len=%d cap=%d full=%v",
+					s.Len(), s.Capacity(), s.Full())
+			}
+			v := s.Victim()
+			if !s.Contains(v) {
+				t.Fatalf("Victim returned non-resident page %d", v)
+			}
+			if s.Len() != 4 {
+				t.Fatal("Victim must not remove")
+			}
+			if !s.Remove(v) {
+				t.Fatalf("Remove(%d) of the victim failed", v)
+			}
+			if s.Remove(v) {
+				t.Fatalf("second Remove(%d) reported true", v)
+			}
+			if s.Remove(999) {
+				t.Fatal("Remove of never-inserted page reported true")
+			}
+			if s.Len() != 3 || s.Full() {
+				t.Fatalf("post-remove accounting broken: len=%d", s.Len())
+			}
+		})
+		t.Run(im.name+"/victims-drain", func(t *testing.T) {
+			// Repeated Victim+Remove must drain the store, touching each
+			// resident exactly once.
+			s := im.mk(8)
+			for p := PageID(0); p < 8; p++ {
+				s.Insert(p)
+			}
+			seen := map[PageID]bool{}
+			for s.Len() > 0 {
+				v := s.Victim()
+				if seen[v] {
+					t.Fatalf("victim %d produced twice", v)
+				}
+				seen[v] = true
+				s.Remove(v)
+			}
+			if len(seen) != 8 {
+				t.Fatalf("drained %d pages, want 8", len(seen))
+			}
+		})
+		t.Run(im.name+"/each-ascending", func(t *testing.T) {
+			s := im.mk(8)
+			for _, p := range []PageID{13, 2, 40, 7, 21} {
+				s.Insert(p)
+			}
+			s.Remove(7)
+			var got []PageID
+			s.Each(func(p PageID) { got = append(got, p) })
+			want := []PageID{2, 13, 21, 40}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("Each order = %v, want ascending %v", got, want)
+			}
+		})
+		t.Run(im.name+"/panics", func(t *testing.T) {
+			mustPanic := func(what string, fn func()) {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not panic", what)
+					}
+				}()
+				fn()
+			}
+			mustPanic("zero capacity", func() { im.mk(0) })
+			mustPanic("insert when full", func() {
+				s := im.mk(1)
+				s.Insert(1)
+				s.Insert(2)
+			})
+			mustPanic("duplicate insert", func() {
+				s := im.mk(2)
+				s.Insert(1)
+				s.Insert(1)
+			})
+			mustPanic("victim from empty", func() { im.mk(1).Victim() })
+			mustPanic("negative page id", func() { im.mk(1).Insert(-1) })
+		})
+	}
+}
+
+// TestEachInsertionOrderIndependent pins the satellite contract: for the
+// same resident set, Each yields the same (ascending) sequence no
+// matter which order built the set and no matter which policy holds it.
+// This is the cross-policy fixture that makes iterating a Store safe in
+// deterministic code without an external sort.
+func TestEachInsertionOrderIndependent(t *testing.T) {
+	pages := []PageID{11, 3, 27, 5, 19, 8}
+	orders := [][]PageID{
+		{11, 3, 27, 5, 19, 8},
+		{8, 19, 5, 27, 3, 11},
+		{3, 8, 11, 19, 27, 5},
+	}
+	want := fmt.Sprint([]PageID{3, 5, 8, 11, 19, 27})
+	for _, im := range storeImpls() {
+		for oi, order := range orders {
+			s := im.mk(len(pages) + 2)
+			// Interleave a remove/re-insert so the internal structures
+			// (queues, heaps, slots) diverge across orders even more.
+			for _, p := range order {
+				s.Insert(p)
+			}
+			s.Remove(order[0])
+			s.Insert(order[0])
+			var got []PageID
+			s.Each(func(p PageID) { got = append(got, p) })
+			if fmt.Sprint(got) != want {
+				t.Fatalf("%s order %d: Each = %v, want %v", im.name, oi, got, want)
+			}
+		}
+	}
+}
+
+// TestClockAllReferencedRejectVictim covers the edge the reclaim path
+// can hit: every resident page has its reference bit set (fresh inserts
+// or touches), and the caller keeps rejecting what Victim offers. The
+// clock must clear bits on the first full sweep, offer each slot in
+// order, and terminate after universal rejection rather than spin.
+func TestClockAllReferencedRejectVictim(t *testing.T) {
+	const capPages = 5
+	c := NewClock(capPages)
+	for p := PageID(0); p < capPages; p++ {
+		c.Insert(p) // insert sets the reference bit
+	}
+	// First Victim pays the full clearing sweep and picks slot 0's page.
+	offered := map[PageID]bool{}
+	var order []PageID
+	for i := 0; i < capPages; i++ {
+		v := c.Victim()
+		if offered[v] {
+			t.Fatalf("victim %d offered twice within one rejection round (order %v)", v, order)
+		}
+		offered[v] = true
+		order = append(order, v)
+		c.Reject(v) // re-set the bit, hand moves past it
+	}
+	if len(offered) != capPages {
+		t.Fatalf("rejection round offered %d distinct pages, want %d", len(offered), capPages)
+	}
+	// All bits are set again; the clock must still produce a victim (a
+	// fresh clearing sweep) and the sequence must restart deterministically.
+	v := c.Victim()
+	if !c.Contains(v) {
+		t.Fatal("post-rejection victim is not resident")
+	}
+	if v != order[0] {
+		t.Fatalf("second round started at %d, want %d (same sweep order)", v, order[0])
+	}
+	// Touching the would-be victim shields it for exactly one sweep.
+	c.Touch(v)
+	if v2 := c.Victim(); v2 == v {
+		t.Fatalf("touched page %d evicted immediately", v)
+	}
+}
+
+// TestFIFORemoveThenVictimAfterCompaction forces the queue's in-place
+// compaction and then checks that removals and victim order still agree:
+// compaction drops tombstones and consumed prefix, and must not
+// resurrect removed pages or reorder the live tail.
+func TestFIFORemoveThenVictimAfterCompaction(t *testing.T) {
+	const capPages = 4
+	f := NewFIFO(capPages)
+	// Churn far past 2*capacity queue entries so compact() fires
+	// (trigger: unconsumed queue >= max(2*cap, 64)).
+	for i := 0; i < 200; i++ {
+		p := PageID(i)
+		f.Insert(p)
+		if i%2 == 0 {
+			f.Remove(p) // tombstone mid-queue
+		}
+		if f.Full() {
+			v := f.Victim()
+			f.Remove(v)
+		}
+	}
+	// Snapshot the live set in FIFO order by draining a copy of the
+	// victim sequence: every victim must be resident, ages ascending.
+	var drained []PageID
+	for f.Len() > 0 {
+		v := f.Victim()
+		if !f.Contains(v) {
+			t.Fatalf("victim %d not resident after compaction churn", v)
+		}
+		if len(drained) > 0 && v <= drained[len(drained)-1] {
+			t.Fatalf("victim order regressed after compaction: %v then %d", drained, v)
+		}
+		drained = append(drained, v)
+		f.Remove(v)
+	}
+	// Removed-then-victim: force a compaction while known pages are
+	// live (tombstone churn with no Victim calls keeps the head pinned,
+	// so the unconsumed queue crosses the compaction trigger), then
+	// check removals and victim order against the compacted queue.
+	f = NewFIFO(capPages)
+	f.Insert(500)
+	f.Insert(501)
+	for i := 0; i < 100; i++ {
+		f.Insert(PageID(i))
+		f.Remove(PageID(i))
+	}
+	if len(f.queue) >= 64 {
+		t.Fatalf("compaction did not fire: queue holds %d entries", len(f.queue))
+	}
+	f.Insert(1000)
+	f.Remove(500)
+	if v := f.Victim(); v != 501 {
+		t.Fatalf("victim = %d, want 501 (500 removed after compaction)", v)
+	}
+	f.Remove(501)
+	if v := f.Victim(); v != 1000 {
+		t.Fatalf("victim = %d, want 1000", v)
+	}
+}
+
+// TestLRUKVictimOrder checks the LRU-2 ordering: pages with fewer than
+// two references go first (least recently used among them), then pages
+// by oldest second-most-recent reference.
+func TestLRUKVictimOrder(t *testing.T) {
+	l := NewLRUK(4)
+	l.Insert(1) // refs: 1@t1
+	l.Insert(2) // refs: 2@t2
+	l.Insert(3) // refs: 3@t3
+	l.Touch(1)  // refs: 1@t1,t4 — only page with a backward-2 distance
+	// 2 and 3 have one reference each; 2's is older.
+	if v := l.Victim(); v != 2 {
+		t.Fatalf("victim = %d, want 2 (oldest single-reference page)", v)
+	}
+	l.Touch(2) // refs: 2@t2,t5
+	l.Touch(3) // refs: 3@t3,t6
+	// Now all have two references; oldest backward-2 stamp is 1's (t1).
+	if v := l.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want 1 (oldest backward-2 reference)", v)
+	}
+}
+
+// TestLRUKRetainedHistory checks that history survives eviction and
+// promotion: a page that was promoted (removed without being the
+// victim) returns with two references and outranks a first-timer.
+func TestLRUKRetainedHistory(t *testing.T) {
+	l := NewLRUK(2)
+	l.Insert(1)
+	l.Remove(1) // promotion: counts as 1's second reference
+	l.Insert(5)
+	l.Insert(1) // third reference; backward-2 is recent
+	// 5 has a single reference, 1 has three: 5 must be the victim even
+	// though it was inserted before 1's reinsertion.
+	if v := l.Victim(); v != 5 {
+		t.Fatalf("victim = %d, want single-reference page 5", v)
+	}
+	// An eviction (Victim then Remove) does NOT count as a reference:
+	// 5 returns with its pre-eviction stamp as the backward-2 distance.
+	// Had the eviction been credited as a reference, 5's history would
+	// be fresher than 1's and 1 would be the victim instead.
+	l.Remove(5) // eviction of the victim above: no credit
+	l.Touch(1)  // 1's backward-2 stamp advances past 5's only real reference
+	l.Insert(5)
+	if v := l.Victim(); v != 5 {
+		t.Fatalf("victim = %d, want 5 (eviction must not refresh history)", v)
+	}
+}
+
+// TestTwoQProbationAndPromotion checks 2Q's structure: first-timers are
+// victimized from the probation FIFO; a page seen in the ghost ring
+// (evicted from probation) or promoted to Tier-1 re-enters the main
+// queue and outlives fresh probation pages.
+func TestTwoQProbationAndPromotion(t *testing.T) {
+	q := NewTwoQ(8) // kin = 2, kout = 4
+	for _, p := range []PageID{1, 2, 3, 4} {
+		q.Insert(p)
+	}
+	// All four sit in A1in (> kin): victim is the oldest first-timer.
+	if v := q.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want oldest probation page 1", v)
+	}
+	q.Remove(1) // eviction from A1in -> ghost ring remembers 1
+	q.Insert(1) // second miss on 1: proven hot, enters Am
+	// A1in still exceeds kin (2, 3, 4): victims stay in probation order.
+	if v := q.Victim(); v != 2 {
+		t.Fatalf("victim = %d, want 2 (hot page must not be offered)", v)
+	}
+	q.Remove(2)
+	q.Remove(3) // promotion (not the current victim): 3 becomes hot
+	// A1in = {4} <= kin and Am = {1}: victim comes from Am's LRU end.
+	if v := q.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want Am LRU page 1", v)
+	}
+	q.Insert(3) // promoted page returns straight to Am
+	q.Touch(1)  // 1 to Am MRU; LRU of Am is now 3... then 1 after touch
+	// Am order (LRU->MRU): 3, 1? No: Am was [1], then 3 pushed -> [1, 3],
+	// then Touch(1) -> [3, 1]. A1in = {4} <= kin: victim = Am LRU = 3.
+	if v := q.Victim(); v != 3 {
+		t.Fatalf("victim = %d, want Am LRU page 3", v)
+	}
+}
+
+// TestTwoQGhostAging checks the ghost ring forgets: after kout newer
+// evictions, a page's hotness lapses and it re-enters probation.
+func TestTwoQGhostAging(t *testing.T) {
+	q := NewTwoQ(2) // kin = 1, kout = 1
+	q.Insert(1)
+	q.Victim()
+	q.Remove(1) // ghost: [1]
+	q.Insert(2)
+	q.Victim()
+	q.Remove(2) // ghost: [2], 1 forgotten
+	q.Insert(1) // back to probation, not Am
+	q.Insert(3)
+	// Both in A1in? 1 (older) then 3: victim is 1 — it got no hot credit.
+	if v := q.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want 1 (ghost entry should have aged out)", v)
+	}
+}
+
+// TestParseStorePolicy covers names, aliases, and rejection.
+func TestParseStorePolicy(t *testing.T) {
+	for in, want := range map[string]StorePolicy{
+		"clock": StoreClock, "CLOCK": StoreClock,
+		"fifo":  StoreFIFO,
+		"lru-2": StoreLRUK, "lruk": StoreLRUK, "LRU-K": StoreLRUK, "lru2": StoreLRUK,
+		"2q": StoreTwoQ, "TwoQ": StoreTwoQ,
+	} {
+		got, err := ParseStorePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStorePolicy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseStorePolicy("mru"); err == nil {
+		t.Error("ParseStorePolicy(mru) succeeded")
+	}
+	for _, p := range StorePolicies {
+		s := NewStore(p, 4)
+		if s.Capacity() != 4 {
+			t.Errorf("NewStore(%q) capacity = %d", p, s.Capacity())
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewStore with unknown policy did not panic")
+			}
+		}()
+		NewStore("mru", 4)
+	}()
+}
+
+// TestPolicyChurnEquivalence runs identical random churn through all
+// four stores and checks the shared invariants (Victim liveness, Len
+// accounting, Each order) hold under every policy — the "same
+// conformance suite over all four implementations" satellite, in
+// property form.
+func TestPolicyChurnEquivalence(t *testing.T) {
+	for _, im := range storeImpls() {
+		rng := rand.New(rand.NewSource(7))
+		s := im.mk(16)
+		s.Reserve(256)
+		live := map[PageID]bool{}
+		for op := 0; op < 5000; op++ {
+			p := PageID(rng.Intn(256))
+			switch {
+			case live[p]:
+				if rng.Intn(2) == 0 {
+					s.Remove(p) // promotion-style removal
+					delete(live, p)
+				} else if tc, ok := s.(interface{ Touch(PageID) }); ok {
+					tc.Touch(p)
+				}
+			case s.Full():
+				v := s.Victim()
+				if !live[v] {
+					t.Fatalf("%s: victim %d not live", im.name, v)
+				}
+				s.Remove(v)
+				delete(live, v)
+			default:
+				s.Insert(p)
+				live[p] = true
+			}
+			if s.Len() != len(live) {
+				t.Fatalf("%s: Len = %d, live = %d", im.name, s.Len(), len(live))
+			}
+		}
+		prev := PageID(-1)
+		n := 0
+		s.Each(func(p PageID) {
+			if p <= prev {
+				t.Fatalf("%s: Each not ascending: %d after %d", im.name, p, prev)
+			}
+			if !live[p] {
+				t.Fatalf("%s: Each visited dead page %d", im.name, p)
+			}
+			prev = p
+			n++
+		})
+		if n != len(live) {
+			t.Fatalf("%s: Each visited %d of %d", im.name, n, len(live))
+		}
+	}
+}

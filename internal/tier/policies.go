@@ -1,0 +1,614 @@
+// DBMS-style Tier-2 replacement policies. The GMT paper fixes Tier-2
+// replacement to FIFO (clock under GMT-TierOrder); tiered KV-cache
+// serving workloads re-reference evicted pages on follow-up turns, the
+// access pattern the database buffer-pool literature designed LRU-K
+// (O'Neil et al., SIGMOD '93) and 2Q (Johnson & Shasha, VLDB '94) for.
+// Both keep per-page reference history that survives eviction — in
+// GMT terms, a page's Tier-2 residencies are its references, so the
+// history must outlive any single residency to be worth anything.
+//
+// Like Clock and FIFO, both structures index pages with dense
+// PageID-keyed slices (no maps, no per-entry allocations in steady
+// state) and iterate only in ascending page-ID order, so they satisfy
+// the Store contract's determinism clause by construction.
+
+package tier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StorePolicy names a Tier-2 replacement policy for NewStore. The empty
+// string is "unset": the runtime then keeps the paper's defaults (clock
+// under GMT-TierOrder, FIFO otherwise).
+type StorePolicy string
+
+// The selectable replacement policies.
+const (
+	StoreClock StorePolicy = "clock"
+	StoreFIFO  StorePolicy = "fifo"
+	StoreLRUK  StorePolicy = "lru-2"
+	StoreTwoQ  StorePolicy = "2q"
+)
+
+// StorePolicies lists the selectable policies in presentation order.
+var StorePolicies = []StorePolicy{StoreClock, StoreFIFO, StoreLRUK, StoreTwoQ}
+
+// ParseStorePolicy resolves a policy name case-insensitively, accepting
+// a few common aliases (lruk, lru-k, lru2, twoq).
+func ParseStorePolicy(s string) (StorePolicy, error) {
+	switch strings.ToLower(s) {
+	case "clock":
+		return StoreClock, nil
+	case "fifo":
+		return StoreFIFO, nil
+	case "lru-2", "lru2", "lruk", "lru-k":
+		return StoreLRUK, nil
+	case "2q", "twoq":
+		return StoreTwoQ, nil
+	}
+	return "", fmt.Errorf("tier: unknown store policy %q (want one of %v)", s, StorePolicies)
+}
+
+// NewStore builds a Store of the given capacity under the named policy.
+// It panics on an unknown name; callers taking external input should
+// validate with ParseStorePolicy first.
+func NewStore(p StorePolicy, capacity int) Store {
+	switch p {
+	case StoreClock:
+		return NewClock(capacity)
+	case StoreFIFO:
+		return NewFIFO(capacity)
+	case StoreLRUK:
+		return NewLRUK(capacity)
+	case StoreTwoQ:
+		return NewTwoQ(capacity)
+	}
+	panic(fmt.Sprintf("tier: unknown store policy %q", p))
+}
+
+// lrukK is the K of the LRU-K implementation: victims are chosen by
+// backward-K reference distance. K=2 is the classic configuration (the
+// SIGMOD '93 paper's experiments found little benefit beyond it).
+const lrukK = 2
+
+// LRUK is an LRU-2 replacement set: the victim is the resident page
+// whose second-most-recent reference is oldest, with pages referenced
+// fewer than twice preferred (their backward-2 distance is infinite),
+// among those the least recently referenced, and ties broken on the
+// smaller page ID. Reference history is "retained information": it
+// persists across Remove, so a page that cycles through Tier-1 and
+// returns carries its prior references with it.
+//
+// References are counted at Insert and at promotion-classified Remove
+// (see the Store contract note on Remove classification). Touch also
+// counts one, though the runtime never touches Tier-2 residents.
+//
+// Victim selection uses a lazy min-heap over (prev, last, page) stamp
+// triples: every reference pushes a fresh entry, stale entries (stamps
+// no longer current, or page not resident) are popped on demand, and
+// the heap is compacted in place once stale entries dominate, so the
+// steady state allocates only when the heap's backing array grows
+// (amortized, like append everywhere else in this package).
+type LRUK struct {
+	capacity int
+	clock    int64 // logical reference time; ticks once per reference
+	// Dense per-page reference history, persisting across residencies:
+	// last is the most recent reference stamp, prev the one before it
+	// (0 = fewer than lrukK references so far).
+	last     []int64
+	prev     []int64
+	resident []bool
+	n        int
+	// lastVictim classifies the next Remove (Store contract note).
+	lastVictim PageID
+	heap       []lrukEntry
+}
+
+// lrukEntry is a heap entry: the page's stamps at push time. An entry
+// is stale once the page's current stamps differ (or it left).
+type lrukEntry struct {
+	prev, last int64
+	page       PageID
+}
+
+var _ Store = (*LRUK)(nil)
+
+// NewLRUK returns an empty LRU-2 set with the given capacity.
+func NewLRUK(capacity int) *LRUK {
+	if capacity < 1 {
+		panic("tier: lruk capacity must be >= 1")
+	}
+	return &LRUK{
+		capacity:   capacity,
+		lastVictim: NoPage,
+		heap:       make([]lrukEntry, 0, 2*capacity),
+	}
+}
+
+// Reserve presizes the history arrays for an n-page footprint.
+//
+//gmt:coldpath
+func (l *LRUK) Reserve(n int) {
+	if n <= len(l.resident) {
+		return
+	}
+	nr := make([]bool, n)
+	copy(nr, l.resident)
+	l.resident = nr
+	nl := make([]int64, n)
+	copy(nl, l.last)
+	l.last = nl
+	np := make([]int64, n)
+	copy(np, l.prev)
+	l.prev = np
+}
+
+func (l *LRUK) isResident(p PageID) bool {
+	return p >= 0 && int64(p) < int64(len(l.resident)) && l.resident[p]
+}
+
+// reference records one reference to p and queues it for victim
+// selection if resident.
+func (l *LRUK) reference(p PageID) {
+	l.clock++
+	l.prev[p] = l.last[p]
+	l.last[p] = l.clock
+	if l.resident[p] {
+		l.push(lrukEntry{prev: l.prev[p], last: l.last[p], page: p})
+	}
+}
+
+// Insert adds p, counting the insertion as a reference.
+func (l *LRUK) Insert(p PageID) {
+	if p < 0 {
+		panic(fmt.Sprintf("tier: negative page id %d", p))
+	}
+	if l.isResident(p) {
+		panic(fmt.Sprintf("tier: page %d already in lruk", p))
+	}
+	if l.n >= l.capacity {
+		panic("tier: lruk full")
+	}
+	if int64(p) >= int64(len(l.resident)) {
+		l.Reserve(growSize(len(l.resident), int(p)+1))
+	}
+	l.resident[p] = true
+	l.n++
+	if l.lastVictim == p {
+		l.lastVictim = NoPage
+	}
+	l.reference(p)
+}
+
+// Touch counts a reference to a resident page; absent pages are a
+// no-op (matching Clock.Touch).
+func (l *LRUK) Touch(p PageID) {
+	if l.isResident(p) {
+		l.reference(p)
+	}
+}
+
+// Remove deletes p. A removal of the current Victim() choice is an
+// eviction; any other removal is a promotion and counts as a reference
+// in the page's retained history (it will order the page's next
+// residency).
+func (l *LRUK) Remove(p PageID) bool {
+	if !l.isResident(p) {
+		return false
+	}
+	if p == l.lastVictim {
+		l.lastVictim = NoPage
+	} else {
+		l.clock++
+		l.prev[p] = l.last[p]
+		l.last[p] = l.clock
+	}
+	l.resident[p] = false
+	l.n--
+	return true
+}
+
+// Victim reports the resident page with the oldest backward-2 stamp
+// (ties: oldest last reference, then smaller page ID) without removing
+// it.
+func (l *LRUK) Victim() PageID {
+	if l.n == 0 {
+		panic("tier: victim from empty lruk")
+	}
+	for {
+		e := l.heap[0]
+		if l.resident[e.page] && l.last[e.page] == e.last && l.prev[e.page] == e.prev {
+			l.lastVictim = e.page
+			return e.page
+		}
+		l.pop()
+	}
+}
+
+// Contains reports residency.
+func (l *LRUK) Contains(p PageID) bool { return l.isResident(p) }
+
+// Each calls fn for every resident page in ascending page-ID order.
+func (l *LRUK) Each(fn func(PageID)) {
+	seen := 0
+	for p, r := range l.resident {
+		if r {
+			fn(PageID(p))
+			seen++
+			if seen == l.n {
+				return
+			}
+		}
+	}
+}
+
+// Len reports the number of resident pages.
+func (l *LRUK) Len() int { return l.n }
+
+// Capacity reports the maximum residency.
+func (l *LRUK) Capacity() int { return l.capacity }
+
+// Full reports whether the set is at capacity.
+func (l *LRUK) Full() bool { return l.n >= l.capacity }
+
+// less orders heap entries: oldest backward-2 stamp first (0 — fewer
+// than two references — is the oldest possible), then oldest last
+// reference, then smaller page ID. The order is total, so the victim
+// sequence is independent of push order.
+func (l *LRUK) less(a, b lrukEntry) bool {
+	if a.prev != b.prev {
+		return a.prev < b.prev
+	}
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.page < b.page
+}
+
+func (l *LRUK) push(e lrukEntry) {
+	if len(l.heap) >= 4*l.capacity && len(l.heap) >= 64 {
+		l.compactHeap()
+	}
+	l.heap = append(l.heap, e)
+	i := len(l.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(l.heap[i], l.heap[parent]) {
+			break
+		}
+		l.heap[i], l.heap[parent] = l.heap[parent], l.heap[i]
+		i = parent
+	}
+}
+
+func (l *LRUK) pop() {
+	last := len(l.heap) - 1
+	l.heap[0] = l.heap[last]
+	l.heap = l.heap[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && l.less(l.heap[left], l.heap[smallest]) {
+			smallest = left
+		}
+		if right < last && l.less(l.heap[right], l.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		l.heap[i], l.heap[smallest] = l.heap[smallest], l.heap[i]
+		i = smallest
+	}
+}
+
+// compactHeap drops stale entries in place and re-heapifies, bounding
+// the heap at O(capacity) live entries without giving the backing
+// array back.
+//
+//gmt:coldpath
+func (l *LRUK) compactHeap() {
+	live := l.heap[:0]
+	for _, e := range l.heap {
+		if l.resident[e.page] && l.last[e.page] == e.last && l.prev[e.page] == e.prev {
+			live = append(live, e)
+		}
+	}
+	l.heap = live
+	for i := len(l.heap)/2 - 1; i >= 0; i-- {
+		l.siftDown(i)
+	}
+}
+
+func (l *LRUK) siftDown(i int) {
+	n := len(l.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && l.less(l.heap[left], l.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && l.less(l.heap[right], l.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		l.heap[i], l.heap[smallest] = l.heap[smallest], l.heap[i]
+		i = smallest
+	}
+}
+
+// twoQList identifies which 2Q queue a resident page is on.
+type twoQList uint8
+
+const (
+	twoQNone twoQList = iota
+	twoQIn            // A1in: first-timers, FIFO
+	twoQMain          // Am: proven-hot pages, LRU
+)
+
+// TwoQ is the 2Q replacement set: newly inserted pages enter a FIFO
+// probation queue (A1in); pages whose eviction history marks them hot —
+// they appear in the A1out ghost ring or were promoted to Tier-1 during
+// a previous residency — enter the LRU main queue (Am) instead. Victims
+// come from A1in while it exceeds its share (Kin = capacity/4), else
+// from Am's LRU end; a page evicted from A1in leaves its ID in the
+// ghost ring (Kout = capacity/2 IDs, history only, no data), which is
+// what lets a second miss on it prove the page hot. This is the
+// "simplified 2Q" of the VLDB '94 paper with the full version's tuned
+// Kin/Kout shares, adapted to the Store interface: a promotion to
+// Tier-1 (a Remove not preceded by Victim selecting the page) also
+// marks the page hot, since it was demanded while Tier-2 resident.
+//
+// Both queues are intrusive doubly-linked lists over dense PageID-keyed
+// arrays, and the ghost ring is fixed at construction, so steady-state
+// operations allocate nothing and run in O(1).
+type TwoQ struct {
+	capacity int
+	kin      int // A1in's target share; beyond it, A1in is the victim source
+	next     []PageID
+	prevLink []PageID
+	where    []twoQList
+	// ghost is the A1out ring: the last kout page IDs evicted from
+	// A1in or promoted out of Tier-2, marked in hot for O(1) lookup.
+	ghost    []PageID
+	ghostPos int
+	hot      []bool
+
+	inHead, inTail     PageID // A1in: head = oldest
+	mainHead, mainTail PageID // Am: head = LRU, tail = MRU
+	inLen, mainLen     int
+	lastVictim         PageID
+}
+
+var _ Store = (*TwoQ)(nil)
+
+// NewTwoQ returns an empty 2Q set with the given capacity.
+func NewTwoQ(capacity int) *TwoQ {
+	if capacity < 1 {
+		panic("tier: twoq capacity must be >= 1")
+	}
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	q := &TwoQ{
+		capacity:   capacity,
+		kin:        kin,
+		ghost:      make([]PageID, kout),
+		inHead:     NoPage,
+		inTail:     NoPage,
+		mainHead:   NoPage,
+		mainTail:   NoPage,
+		lastVictim: NoPage,
+	}
+	for i := range q.ghost {
+		q.ghost[i] = NoPage
+	}
+	return q
+}
+
+// Reserve presizes the link arrays for an n-page footprint.
+//
+//gmt:coldpath
+func (q *TwoQ) Reserve(n int) {
+	if n <= len(q.where) {
+		return
+	}
+	nn := make([]PageID, n)
+	copy(nn, q.next)
+	q.next = nn
+	np := make([]PageID, n)
+	copy(np, q.prevLink)
+	q.prevLink = np
+	nw := make([]twoQList, n)
+	copy(nw, q.where)
+	q.where = nw
+	nh := make([]bool, n)
+	copy(nh, q.hot)
+	q.hot = nh
+}
+
+func (q *TwoQ) list(p PageID) twoQList {
+	if p < 0 || int64(p) >= int64(len(q.where)) {
+		return twoQNone
+	}
+	return q.where[p]
+}
+
+// remember pushes p into the ghost ring, aging out the oldest entry.
+// Re-remembering refreshes hotness without consuming a second slot.
+func (q *TwoQ) remember(p PageID) {
+	if q.hot[p] {
+		return
+	}
+	if old := q.ghost[q.ghostPos]; old != NoPage && int64(old) < int64(len(q.hot)) {
+		q.hot[old] = false
+	}
+	q.ghost[q.ghostPos] = p
+	q.ghostPos = (q.ghostPos + 1) % len(q.ghost)
+	q.hot[p] = true
+}
+
+// pushTail appends p at the MRU end of the given list.
+func (q *TwoQ) pushTail(p PageID, list twoQList) {
+	q.where[p] = list
+	q.next[p] = NoPage
+	if list == twoQIn {
+		q.prevLink[p] = q.inTail
+		if q.inTail != NoPage {
+			q.next[q.inTail] = p
+		} else {
+			q.inHead = p
+		}
+		q.inTail = p
+		q.inLen++
+		return
+	}
+	q.prevLink[p] = q.mainTail
+	if q.mainTail != NoPage {
+		q.next[q.mainTail] = p
+	} else {
+		q.mainHead = p
+	}
+	q.mainTail = p
+	q.mainLen++
+}
+
+// unlink removes p from whichever list holds it.
+func (q *TwoQ) unlink(p PageID) {
+	list := q.where[p]
+	prev, next := q.prevLink[p], q.next[p]
+	if prev != NoPage {
+		q.next[prev] = next
+	}
+	if next != NoPage {
+		q.prevLink[next] = prev
+	}
+	if list == twoQIn {
+		if q.inHead == p {
+			q.inHead = next
+		}
+		if q.inTail == p {
+			q.inTail = prev
+		}
+		q.inLen--
+	} else {
+		if q.mainHead == p {
+			q.mainHead = next
+		}
+		if q.mainTail == p {
+			q.mainTail = prev
+		}
+		q.mainLen--
+	}
+	q.where[p] = twoQNone
+}
+
+// Insert adds p: to the main (hot) queue if its history marks it hot,
+// else to the probation queue.
+func (q *TwoQ) Insert(p PageID) {
+	if p < 0 {
+		panic(fmt.Sprintf("tier: negative page id %d", p))
+	}
+	if q.list(p) != twoQNone {
+		panic(fmt.Sprintf("tier: page %d already in twoq", p))
+	}
+	if q.inLen+q.mainLen >= q.capacity {
+		panic("tier: twoq full")
+	}
+	if int64(p) >= int64(len(q.where)) {
+		q.Reserve(growSize(len(q.where), int(p)+1))
+	}
+	if q.lastVictim == p {
+		q.lastVictim = NoPage
+	}
+	if q.hot[p] {
+		q.pushTail(p, twoQMain)
+	} else {
+		q.pushTail(p, twoQIn)
+	}
+}
+
+// Touch records a reference: an Am resident moves to the MRU end; an
+// A1in resident is promoted to Am (a second access during probation
+// proves it hot). Absent pages are a no-op.
+func (q *TwoQ) Touch(p PageID) {
+	if q.list(p) == twoQNone {
+		return
+	}
+	q.unlink(p)
+	q.pushTail(p, twoQMain)
+}
+
+// Remove deletes p. Eviction of an A1in page (a Remove of the current
+// Victim() choice) records it in the ghost ring; a promotion marks the
+// page hot directly — either way its next insertion lands in Am.
+func (q *TwoQ) Remove(p PageID) bool {
+	list := q.list(p)
+	if list == twoQNone {
+		return false
+	}
+	if p == q.lastVictim {
+		q.lastVictim = NoPage
+		if list == twoQIn {
+			q.remember(p)
+		}
+	} else {
+		// Promotion to Tier-1: the page was demanded while resident.
+		q.remember(p)
+	}
+	q.unlink(p)
+	return true
+}
+
+// Victim reports the replacement choice without removing it: the oldest
+// A1in page while A1in exceeds its Kin share (or Am is empty), else
+// Am's LRU page.
+func (q *TwoQ) Victim() PageID {
+	var v PageID
+	switch {
+	case q.inLen == 0 && q.mainLen == 0:
+		panic("tier: victim from empty twoq")
+	case q.inLen > q.kin || q.mainLen == 0:
+		v = q.inHead
+	default:
+		v = q.mainHead
+	}
+	q.lastVictim = v
+	return v
+}
+
+// Contains reports residency.
+func (q *TwoQ) Contains(p PageID) bool { return q.list(p) != twoQNone }
+
+// Each calls fn for every resident page in ascending page-ID order.
+func (q *TwoQ) Each(fn func(PageID)) {
+	seen, total := 0, q.inLen+q.mainLen
+	for p, w := range q.where {
+		if w != twoQNone {
+			fn(PageID(p))
+			seen++
+			if seen == total {
+				return
+			}
+		}
+	}
+}
+
+// Len reports the number of resident pages.
+func (q *TwoQ) Len() int { return q.inLen + q.mainLen }
+
+// Capacity reports the maximum residency.
+func (q *TwoQ) Capacity() int { return q.capacity }
+
+// Full reports whether the set is at capacity.
+func (q *TwoQ) Full() bool { return q.inLen+q.mainLen >= q.capacity }

@@ -1,7 +1,9 @@
 // Package tier provides the page-residency structures used by the GMT
 // runtime: a clock (second-chance) replacement set for Tier-1 (and for
-// Tier-2 under GMT-TierOrder), and a FIFO set for Tier-2 under the other
-// policies (paper §2.2).
+// Tier-2 under GMT-TierOrder), a FIFO set for Tier-2 under the other
+// policies (paper §2.2), and two DBMS-style Tier-2 alternatives —
+// LRU-K (K=2) and 2Q — selectable by name through NewStore for the
+// serving-workload policy studies (policies.go).
 //
 // These structures track membership and choose victims; page metadata
 // (dirty bits, timestamps, predictor state) lives with the runtime.
@@ -31,7 +33,18 @@ type PageID int64
 const NoPage PageID = -1
 
 // Store is a fixed-capacity set of resident pages with a replacement
-// policy. Implementations: *Clock, *FIFO.
+// policy. Implementations: *Clock, *FIFO, *LRUK, *TwoQ (policies.go);
+// NewStore builds one by name.
+//
+// Recency-tracking policies cannot see why a page leaves: the runtime
+// calls Remove both when it evicts a page (always immediately after
+// Victim selected it) and when it promotes a demanded page to Tier-1.
+// Policies that care (LRU-K, 2Q) therefore classify a Remove of the most
+// recent Victim() result as an eviction and any other Remove as a
+// promotion — i.e. a reference. The one caller that can blur this (the
+// runtime's reclaim path rejects an ineligible victim without removing
+// it, and the same page may be demanded right after) only costs the
+// policy a single reference credit, never correctness.
 type Store interface {
 	// Insert adds p. It panics if the store is full or p is present:
 	// callers must evict first, which keeps accounting explicit.
@@ -43,9 +56,11 @@ type Store interface {
 	Victim() PageID
 	// Contains reports whether p is resident.
 	Contains(p PageID) bool
-	// Each calls fn for every resident page (iteration order
-	// unspecified; callers needing determinism must impose their own
-	// total order).
+	// Each calls fn for every resident page in ascending page-ID order.
+	// The order is part of the contract: it is deterministic and
+	// independent of insertion order, so two stores holding the same
+	// resident set iterate identically regardless of the history that
+	// built them (the maporder discipline, applied to stores).
 	Each(fn func(PageID))
 	// Reserve presizes the page-ID index for a workload footprint of n
 	// pages, so the hot path never grows it mid-run.
@@ -301,12 +316,19 @@ func (c *Clock) Reject(p PageID) {
 // Contains reports residency.
 func (c *Clock) Contains(p PageID) bool { return c.index.get(p) != noSlot }
 
-// Each calls fn for every resident page, in slot order (deterministic,
-// but callers should not rely on a particular order).
+// Each calls fn for every resident page in ascending page-ID order
+// (the Store contract). The walk is over the dense page index rather
+// than the slots, which would reflect insertion order; Each is not on
+// the per-access path, so the O(max page ID) cost is acceptable.
 func (c *Clock) Each(fn func(PageID)) {
-	for _, p := range c.slots {
-		if p != NoPage {
-			fn(p)
+	seen := 0
+	for p, slot := range c.index.v {
+		if slot != noSlot {
+			fn(PageID(p))
+			seen++
+			if seen == c.n {
+				return
+			}
 		}
 	}
 }

@@ -177,7 +177,7 @@ func TestFIFOCompaction(t *testing.T) {
 }
 
 func TestStoreInterfaceCompliance(t *testing.T) {
-	for _, s := range []Store{NewClock(4), NewFIFO(4)} {
+	for _, s := range []Store{NewClock(4), NewFIFO(4), NewLRUK(4), NewTwoQ(4)} {
 		s.Insert(7)
 		if !s.Contains(7) || s.Len() != 1 || s.Capacity() != 4 || s.Full() {
 			t.Fatalf("%T basic accounting broken", s)
@@ -193,7 +193,7 @@ func TestStoreInterfaceCompliance(t *testing.T) {
 }
 
 func TestEachVisitsAllResidents(t *testing.T) {
-	for _, s := range []Store{NewClock(8), NewFIFO(8)} {
+	for _, s := range []Store{NewClock(8), NewFIFO(8), NewLRUK(8), NewTwoQ(8)} {
 		want := map[PageID]bool{}
 		for p := PageID(0); p < 5; p++ {
 			s.Insert(p)
@@ -270,10 +270,10 @@ func TestStoreChurnProperty(t *testing.T) {
 			return true
 		}
 	}
-	if err := quick.Check(run(func() Store { return NewClock(32) }), &quick.Config{MaxCount: 20}); err != nil {
-		t.Errorf("clock churn: %v", err)
-	}
-	if err := quick.Check(run(func() Store { return NewFIFO(32) }), &quick.Config{MaxCount: 20}); err != nil {
-		t.Errorf("fifo churn: %v", err)
+	for _, im := range storeImpls() {
+		im := im
+		if err := quick.Check(run(func() Store { return im.mk(32) }), &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%s churn: %v", im.name, err)
+		}
 	}
 }

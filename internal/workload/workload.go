@@ -27,6 +27,13 @@ type Scale struct {
 	// Oversubscription is the working set size as a multiple of
 	// Tier1Pages+Tier2Pages (the paper's footnote 2; default 2).
 	Oversubscription float64
+	// DatasetSeed seeds dataset synthesis: the Kronecker graph shared
+	// by the graph applications and the KV-serving request mix. Zero
+	// means the historical default (42), so the zero value reproduces
+	// every previously generated dataset bit-for-bit. Experiment
+	// fingerprints include it, so varying the seed cannot alias
+	// memoized results.
+	DatasetSeed int64
 }
 
 // DefaultScale is the paper's default configuration (Tier-2 = 4x Tier-1,
@@ -42,6 +49,14 @@ func (s Scale) CombinedPages() int { return s.Tier1Pages + s.Tier2Pages }
 // WorkingSetPages reports the target dataset footprint.
 func (s Scale) WorkingSetPages() int {
 	return int(s.Oversubscription * float64(s.CombinedPages()))
+}
+
+// datasetSeed resolves the effective dataset seed (zero -> 42).
+func (s Scale) datasetSeed() int64 {
+	if s.DatasetSeed == 0 {
+		return 42
+	}
+	return s.DatasetSeed
 }
 
 // Workload produces a deterministic access trace over its dataset's
@@ -69,7 +84,7 @@ var Names = []string{
 // All builds the full nine-application suite at the given scale. The
 // graph applications share one generated Kronecker graph.
 func All(s Scale) []Workload {
-	gs := NewGraphSet(s, 42)
+	gs := NewGraphSet(s, s.datasetSeed())
 	return []Workload{
 		NewLavaMD(s),
 		NewPathfinder(s),
