@@ -89,12 +89,10 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
-// BenchmarkPerAccessHit measures the full steady-state per-access path
-// on a Tier-1 hit: directory lookup, clock touch, and inline completion
-// through the synchronous fast path — the exact call the GPU makes per
-// hitting access. Steady state is 0 allocs/op.
-func BenchmarkPerAccessHit(b *testing.B) {
-	eng := sim.NewEngine()
+// warmResident builds a runtime with every footprint page resident in
+// Tier-1 and quiescent — the steady state the hit benchmarks replay
+// against — plus a reusable batch of hitting accesses over it.
+func warmResident(eng *sim.Engine) (*core.Runtime, core.Config, []gpu.Access) {
 	cfg := core.DefaultConfig()
 	cfg.Policy = core.PolicyBaM
 	cfg.Tier1Pages = 256
@@ -105,15 +103,67 @@ func BenchmarkPerAccessHit(b *testing.B) {
 		rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
 	}
 	eng.Run()
+	batch := make([]gpu.Access, 512)
+	for i := range batch {
+		batch[i] = gpu.Access{Page: tier.PageID(i % 128)}
+	}
+	return rt, cfg, batch
+}
+
+// BenchmarkPerAccessHit measures the steady-state per-access cost of a
+// Tier-1 hit the way the GPU now pays it: hitting warps consume whole
+// leading hit runs through AccessSyncBatch — one bounds check and
+// residency probe per page, counters folded in once per batch — so
+// ns/op here is the amortized per-access cost on the batched path.
+// Steady state is 0 allocs/op. (BenchmarkAccessBatch measures the same
+// path per call; TestPerAccessAllocGate covers the scalar fallback.)
+func BenchmarkPerAccessHit(b *testing.B) {
+	rt, _, batch := warmResident(sim.NewEngine())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := rt.AccessSyncBatch(batch, len(batch))
+		if n != len(batch) {
+			b.Fatalf("batch broke after %d of %d resident accesses", n, len(batch))
+		}
+		done += n
+	}
+}
+
+// BenchmarkAccessBatch measures one AccessSyncBatch call over a full
+// 512-access resident batch — the per-call cost a hitting warp pays for
+// a whole run, including the batch-level counter fold. 0 allocs/op.
+func BenchmarkAccessBatch(b *testing.B) {
+	rt, _, batch := warmResident(sim.NewEngine())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !rt.AccessSync(gpu.Access{Page: tier.PageID(i % 128)}, done) {
-			b.Fatal("resident access missed")
+		if n := rt.AccessSyncBatch(batch, len(batch)); n != len(batch) {
+			b.Fatalf("batch broke after %d of %d resident accesses", n, len(batch))
 		}
 	}
-	b.StopTimer()
-	eng.Run()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(batch)), "ns/access")
+}
+
+// BenchmarkForkedRun measures the steady-state hit path on a forked
+// child: the parent warms the footprint, freezes, and the child —
+// holding the page directory copy-on-write and a cloned Tier-1 —
+// replays resident hits through AccessSyncBatch. Inherited chunks must
+// serve reads without materializing, so this is 0 allocs/op too; any
+// allocation here means forking broke the hot path.
+func BenchmarkForkedRun(b *testing.B) {
+	eng := sim.NewEngine()
+	parent, cfg, batch := warmResident(eng)
+	child := parent.Fork(sim.NewEngineFrom(eng.Snapshot()), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := child.AccessSyncBatch(batch, len(batch))
+		if n != len(batch) {
+			b.Fatalf("forked batch broke after %d of %d resident accesses", n, len(batch))
+		}
+		done += n
+	}
 }
 
 // TestPerAccessAllocGate is the CI gate for the tentpole's acceptance

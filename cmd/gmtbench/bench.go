@@ -1,10 +1,13 @@
 package main
 
 // In-process microbenchmarks and the benchmark regression gate. The
-// microbenchmarks mirror the repo's headline `go test -bench` pair
-// (BenchmarkSingleRun, BenchmarkPerAccessHit) so a committed
-// BENCH_suite.json records the perf trajectory the CI gate compares
-// against without needing the test binary.
+// microbenchmarks mirror the repo's headline `go test -bench` set
+// (BenchmarkSingleRun, BenchmarkPerAccessHit, BenchmarkAccessBatch,
+// BenchmarkForkedRun) so a committed BENCH_suite.json records the perf
+// trajectory the CI gate compares against without needing the test
+// binary. The hit-path benches additionally carry a hard 0 allocs/op
+// gate (zeroAllocMicro): -microbench itself fails when the steady-state
+// per-access path — scalar, batched, or on a forked child — allocates.
 
 import (
 	"encoding/json"
@@ -29,9 +32,42 @@ type benchMicro struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// runMicrobench runs the two headline microbenchmarks: one complete
+// zeroAllocMicro names the microbenchmarks whose steady state must be
+// allocation-free: the batched hit path (per access and per call) and
+// the same path on a forked child. -microbench exits 1 when any of them
+// reports a nonzero allocs/op, and -comparebench re-checks the committed
+// entries so the gate holds even on runs that skip -microbench locally.
+var zeroAllocMicro = map[string]bool{
+	"PerAccessHit": true,
+	"AccessBatch":  true,
+	"ForkedRun":    true,
+}
+
+// warmResidentMicro builds the steady state the hit benches replay: a
+// BaM runtime with the whole 128-page footprint resident and quiescent,
+// plus a 512-access hitting batch over it.
+func warmResidentMicro(eng *sim.Engine) (*core.Runtime, core.Config, []gpu.Access) {
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyBaM
+	cfg.Tier1Pages = 256
+	cfg.FootprintPages = 128
+	rt := core.NewRuntime(eng, cfg)
+	done := func() {}
+	for p := 0; p < 128; p++ {
+		rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
+	}
+	eng.Run()
+	batch := make([]gpu.Access, 512)
+	for i := range batch {
+		batch[i] = gpu.Access{Page: tier.PageID(i % 128)}
+	}
+	return rt, cfg, batch
+}
+
+// runMicrobench runs the headline microbenchmarks: one complete
 // Figure 8-scale simulation (engine, runtime, GPU, devices; workload
-// generation excluded) and the steady-state Tier-1 hit path.
+// generation excluded), the steady-state Tier-1 hit path per access and
+// per batch call, and the hit path on a forked child runtime.
 func runMicrobench() []benchMicro {
 	scale := workload.Scale{Tier1Pages: 256, Tier2Pages: 1024, Oversubscription: 2}
 	trace := workload.NewMultiVectorAdd(scale).Trace()
@@ -50,27 +86,46 @@ func runMicrobench() []benchMicro {
 			eng.Run()
 		}
 	})
+	// Per-access cost on the batched hit path — the way hitting warps
+	// now stream runs through AccessSyncBatch; ns/op is per access.
 	hit := testing.Benchmark(func(b *testing.B) {
-		eng := sim.NewEngine()
-		cfg := core.DefaultConfig()
-		cfg.Policy = core.PolicyBaM
-		cfg.Tier1Pages = 256
-		cfg.FootprintPages = 128
-		rt := core.NewRuntime(eng, cfg)
-		done := func() {}
-		for p := 0; p < 128; p++ {
-			rt.Access(gpu.Access{Page: tier.PageID(p)}, done)
+		rt, _, batch := warmResidentMicro(sim.NewEngine())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := rt.AccessSyncBatch(batch, len(batch))
+			if n != len(batch) {
+				b.Fatalf("batch broke after %d of %d resident accesses", n, len(batch))
+			}
+			done += n
 		}
-		eng.Run()
+	})
+	// Per-call cost of one full 512-access batch.
+	accessBatch := testing.Benchmark(func(b *testing.B) {
+		rt, _, batch := warmResidentMicro(sim.NewEngine())
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if !rt.AccessSync(gpu.Access{Page: tier.PageID(i % 128)}, done) {
-				b.Fatal("resident access missed")
+			if n := rt.AccessSyncBatch(batch, len(batch)); n != len(batch) {
+				b.Fatalf("batch broke after %d of %d resident accesses", n, len(batch))
 			}
 		}
-		b.StopTimer()
-		eng.Run()
+	})
+	// The same per-access replay on a forked child: copy-on-write
+	// directory inheritance must keep the hot path allocation-free.
+	forkedRun := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		parent, cfg, batch := warmResidentMicro(eng)
+		child := parent.Fork(sim.NewEngineFrom(eng.Snapshot()), cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := child.AccessSyncBatch(batch, len(batch))
+			if n != len(batch) {
+				b.Fatalf("forked batch broke after %d of %d resident accesses", n, len(batch))
+			}
+			done += n
+		}
 	})
 	toMicro := func(name string, r testing.BenchmarkResult) benchMicro {
 		return benchMicro{
@@ -83,7 +138,23 @@ func runMicrobench() []benchMicro {
 	return []benchMicro{
 		toMicro("SingleRun", single),
 		toMicro("PerAccessHit", hit),
+		toMicro("AccessBatch", accessBatch),
+		toMicro("ForkedRun", forkedRun),
 	}
+}
+
+// microGate enforces the 0 allocs/op contract on the zeroAllocMicro
+// benches of a freshly measured set.
+func microGate(micro []benchMicro) []error {
+	var errs []error
+	for _, m := range micro {
+		if zeroAllocMicro[m.Name] && m.AllocsPerOp != 0 {
+			errs = append(errs, fmt.Errorf(
+				"%s: steady-state hit path allocated: %d allocs/op (%d B/op), want 0",
+				m.Name, m.AllocsPerOp, m.BytesPerOp))
+		}
+	}
+	return errs
 }
 
 // Regression-gate tolerances (-comparebench). Wall clock is noisy across
@@ -96,6 +167,11 @@ const (
 	compareWallSlackMS = 100
 	compareMallocRatio = 1.01
 	compareMallocSlack = 10_000
+	// Microbenchmark gate: allocs/op is deterministic and must never
+	// exceed the baseline (so a 0 allocs/op entry stays 0 forever);
+	// ns/op gets a wide 2x band because single-digit-nanosecond benches
+	// swing hard across shared CI runners.
+	compareMicroNsRatio = 2.0
 )
 
 // compareBench gates the current report against a committed baseline,
@@ -128,6 +204,28 @@ func compareBench(baselinePath string, cur benchReport) []error {
 			errs = append(errs, fmt.Errorf(
 				"%s: allocation count regressed: %d objects vs baseline %d (limit %.0f)",
 				e.Name, e.Mallocs, b.Mallocs, maxMallocs))
+		}
+	}
+	// Microbenchmark entries gate only when this run measured them
+	// (-microbench); a run without them compares experiments alone.
+	baseMicro := make(map[string]benchMicro, len(base.Micro))
+	for _, m := range base.Micro {
+		baseMicro[m.Name] = m
+	}
+	for _, m := range cur.Micro {
+		b, ok := baseMicro[m.Name]
+		if !ok {
+			continue // new microbenchmark: nothing to regress against
+		}
+		if m.AllocsPerOp > b.AllocsPerOp {
+			errs = append(errs, fmt.Errorf(
+				"%s: allocs/op regressed: %d vs baseline %d",
+				m.Name, m.AllocsPerOp, b.AllocsPerOp))
+		}
+		if maxNs := b.NsPerOp * compareMicroNsRatio; m.NsPerOp > maxNs {
+			errs = append(errs, fmt.Errorf(
+				"%s: ns/op regressed: %.2f vs baseline %.2f (limit %.2f)",
+				m.Name, m.NsPerOp, b.NsPerOp, maxNs))
 		}
 	}
 	return errs

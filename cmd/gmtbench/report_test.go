@@ -1,0 +1,73 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestFinalizeReportSpeedup pins the speedup_vs_sequential math: the
+// estimate divides sequential work (prewarm busy + rendering) by the
+// wall time of exactly that work (prewarm wall + rendering), nothing
+// else.
+func TestFinalizeReportSpeedup(t *testing.T) {
+	rep := benchReport{
+		Experiments: []benchExperiment{
+			{Name: "fig8", WallMS: 60},
+			{Name: "fig9", WallMS: 40},
+		},
+		Prewarm: &benchPrewarm{BusyMS: 900, WallMS: 300},
+	}
+	finalizeReport(&rep)
+	if !approx(rep.EstSequentialMS, 1000) {
+		t.Fatalf("est_sequential_ms = %v, want 1000 (900 busy + 100 render)", rep.EstSequentialMS)
+	}
+	// (900+100) sequential over (300+100) parallel = 2.5x.
+	if !approx(rep.SpeedupVsSeq, 2.5) {
+		t.Fatalf("speedup_vs_sequential = %v, want 2.5", rep.SpeedupVsSeq)
+	}
+}
+
+// TestFinalizeReportIgnoresHarnessOverhead is the regression for the
+// v1 bug where the divisor was total_wall_ms — which also counts
+// microbenchmark and report-encoding time, so running -microbench
+// alongside a sweep deflated the reported pool speedup.
+func TestFinalizeReportIgnoresHarnessOverhead(t *testing.T) {
+	rep := benchReport{
+		Experiments: []benchExperiment{{Name: "fig8", WallMS: 100}},
+		Prewarm:     &benchPrewarm{BusyMS: 900, WallMS: 300},
+		// Simulate a run where microbenchmarks added 10 s of harness
+		// time on top of the 400 ms of prewarm + rendering.
+		TotalWallMS: 10400,
+	}
+	finalizeReport(&rep)
+	if !approx(rep.SpeedupVsSeq, 2.5) {
+		t.Fatalf("speedup_vs_sequential = %v, want 2.5 regardless of total_wall_ms", rep.SpeedupVsSeq)
+	}
+}
+
+// TestFinalizeReportNoPrewarm: a sequential run (no pool) is its own
+// baseline — speedup is exactly 1.
+func TestFinalizeReportNoPrewarm(t *testing.T) {
+	rep := benchReport{
+		Experiments: []benchExperiment{{Name: "fig8", WallMS: 100}},
+	}
+	finalizeReport(&rep)
+	if !approx(rep.EstSequentialMS, 100) {
+		t.Fatalf("est_sequential_ms = %v, want 100", rep.EstSequentialMS)
+	}
+	if !approx(rep.SpeedupVsSeq, 1) {
+		t.Fatalf("speedup_vs_sequential = %v, want 1.0 without a prewarm pool", rep.SpeedupVsSeq)
+	}
+}
+
+// TestFinalizeReportEmpty: no experiments and no prewarm must not
+// divide by zero.
+func TestFinalizeReportEmpty(t *testing.T) {
+	var rep benchReport
+	finalizeReport(&rep)
+	if rep.SpeedupVsSeq != 1 {
+		t.Fatalf("speedup_vs_sequential = %v, want 1.0 for an empty report", rep.SpeedupVsSeq)
+	}
+}

@@ -20,6 +20,16 @@ type asyncRuntime struct{ rt *core.Runtime }
 
 func (a asyncRuntime) Access(ac gpu.Access, done func()) { a.rt.Access(ac, done) }
 
+// scalarRuntime hides AccessSyncBatch but keeps AccessSync, so the GPU
+// uses the per-access fast path without batched hit replay. Batch replay
+// must be observationally identical to the scalar fast path it batches.
+type scalarRuntime struct{ rt *core.Runtime }
+
+func (s scalarRuntime) Access(ac gpu.Access, done func()) { s.rt.Access(ac, done) }
+func (s scalarRuntime) AccessSync(ac gpu.Access, done func()) bool {
+	return s.rt.AccessSync(ac, done)
+}
+
 // fastPathTrace mixes Tier-1 hits, capacity misses, writes, and
 // kernel-wide barriers over a footprint twice the Tier-1 size.
 func fastPathTrace(n int) []gpu.Access {
@@ -37,11 +47,12 @@ func fastPathTrace(n int) []gpu.Access {
 }
 
 // TestFastPathMatchesQueuedPath runs every policy's full runtime stack
-// with and without the synchronous-hit fast path; wall time and the
-// entire metrics snapshot must be identical.
+// three ways — batched hit replay, scalar fast path, and the classic
+// queued callback path; wall time and the entire metrics snapshot must
+// be identical across all three.
 func TestFastPathMatchesQueuedPath(t *testing.T) {
 	for _, pol := range []core.PolicyKind{core.PolicyBaM, core.PolicyTierOrder, core.PolicyReuse} {
-		run := func(hide bool) (sim.Time, stats.Run) {
+		run := func(mode string) (sim.Time, stats.Run) {
 			eng := sim.NewEngine()
 			cfg := core.DefaultConfig()
 			cfg.Policy = pol
@@ -49,8 +60,11 @@ func TestFastPathMatchesQueuedPath(t *testing.T) {
 			cfg.FootprintPages = 512
 			rt := core.NewRuntime(eng, cfg)
 			var mm gpu.MemoryManager = rt
-			if hide {
+			switch mode {
+			case "queued":
 				mm = asyncRuntime{rt}
+			case "scalar":
+				mm = scalarRuntime{rt}
 			}
 			gcfg := gpu.DefaultConfig()
 			gcfg.Warps = 32
@@ -58,17 +72,19 @@ func TestFastPathMatchesQueuedPath(t *testing.T) {
 			g.Launch()
 			eng.Run()
 			if !g.Done() {
-				t.Fatalf("%v: kernel did not finish", pol)
+				t.Fatalf("%v/%s: kernel did not finish", pol, mode)
 			}
 			return eng.Now(), rt.Snapshot()
 		}
-		fnow, fm := run(false)
-		qnow, qm := run(true)
-		if fnow != qnow {
-			t.Errorf("%v: wall time: fast path %d, queued path %d", pol, fnow, qnow)
-		}
-		if fm != qm {
-			t.Errorf("%v: metrics diverged:\nfast:   %+v\nqueued: %+v", pol, fm, qm)
+		bnow, bm := run("batch")
+		for _, mode := range []string{"scalar", "queued"} {
+			mnow, mm := run(mode)
+			if bnow != mnow {
+				t.Errorf("%v: wall time: batch %d, %s %d", pol, bnow, mode, mnow)
+			}
+			if bm != mm {
+				t.Errorf("%v: metrics diverged:\nbatch: %+v\n%s: %+v", pol, bm, mode, mm)
+			}
 		}
 	}
 }

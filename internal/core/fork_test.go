@@ -1,0 +1,286 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// forkTrace builds a trace whose head touches exactly warm distinct
+// pages (an eviction-free warm-up) and whose tail oversubscribes
+// Tier-1, forcing evictions, Tier-2 traffic, and re-fetches.
+func forkTrace(warm, tail, footprint int) []gpu.Access {
+	tr := make([]gpu.Access, 0, warm*2+tail)
+	for i := 0; i < warm*2; i++ {
+		tr = append(tr, gpu.Access{Page: tier.PageID(i % warm), Write: i%11 == 0})
+	}
+	for i := 0; i < tail; i++ {
+		tr = append(tr, gpu.Access{Page: tier.PageID(i * 7919 % footprint), Write: i%13 == 0})
+		if (i+1)%300 == 0 {
+			tr = append(tr, gpu.Barrier)
+		}
+	}
+	return tr
+}
+
+// runPhase launches one kernel over trace on the given engine/runtime
+// and drains it.
+func runPhase(t *testing.T, eng *sim.Engine, rt *Runtime, trace []gpu.Access, warps int) *gpu.GPU {
+	t.Helper()
+	gcfg := gpu.DefaultConfig()
+	gcfg.Warps = warps
+	g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: trace}, rt)
+	g.Launch()
+	eng.Run()
+	if !g.Done() {
+		t.Fatal("kernel did not finish")
+	}
+	return g
+}
+
+// TestForkMatchesContinuation is the fork-equivalence contract: running
+// a warm-up kernel and then a suffix kernel on a forked child (fresh
+// engine hydrated from the parent's snapshot) must be byte-identical —
+// clock, dispatched-event count, and the full metrics snapshot — to
+// continuing the suffix kernel on the parent runtime directly.
+func TestForkMatchesContinuation(t *testing.T) {
+	for _, pol := range []PolicyKind{PolicyBaM, PolicyTierOrder, PolicyRandom, PolicyReuse} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		cfg.Tier1Pages = 128
+		cfg.Tier2Pages = 256
+		cfg.FootprintPages = 512
+		trace := forkTrace(128, 3000, 512)
+		k := EvictionFreePrefix(trace, cfg.Tier1Pages)
+		if k < 128 {
+			t.Fatalf("prefix too short: %d", k)
+		}
+
+		// Continuation: one runtime, two kernels, same engine.
+		eng1 := sim.NewEngine()
+		rt1 := NewRuntime(eng1, cfg)
+		runPhase(t, eng1, rt1, trace[:k], 16)
+		runPhase(t, eng1, rt1, trace[k:], 16)
+
+		// Fork: same warm-up, then a child on a snapshot-hydrated engine.
+		eng2 := sim.NewEngine()
+		rt2 := NewRuntime(eng2, cfg)
+		runPhase(t, eng2, rt2, trace[:k], 16)
+		child := rt2.Fork(sim.NewEngineFrom(eng2.Snapshot()), cfg)
+		ceng := child.Engine()
+		runPhase(t, ceng, child, trace[k:], 16)
+
+		if eng1.Now() != ceng.Now() {
+			t.Errorf("%v: wall time: continuation %d, fork %d", pol, eng1.Now(), ceng.Now())
+		}
+		if eng1.Steps() != ceng.Steps() {
+			t.Errorf("%v: dispatched events: continuation %d, fork %d", pol, eng1.Steps(), ceng.Steps())
+		}
+		if m1, m2 := rt1.Snapshot(), child.Snapshot(); m1 != m2 {
+			t.Errorf("%v: metrics diverged:\ncontinuation: %+v\nfork:         %+v", pol, m1, m2)
+		}
+		child.CheckInvariants()
+	}
+}
+
+// TestForkSiblingsIndependent forks two children from one frozen parent
+// and drives them through different suffixes; each must match its own
+// continuation run, proving children share nothing mutable.
+func TestForkSiblingsIndependent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyReuse
+	cfg.Tier1Pages = 128
+	cfg.Tier2Pages = 256
+	cfg.FootprintPages = 512
+	trace := forkTrace(128, 2000, 512)
+	k := EvictionFreePrefix(trace, cfg.Tier1Pages)
+
+	peng := sim.NewEngine()
+	prt := NewRuntime(peng, cfg)
+	runPhase(t, peng, prt, trace[:k], 16)
+	snap := peng.Snapshot()
+
+	suffixes := [][]gpu.Access{trace[k:], reverseAccesses(trace[k:])}
+	var forked []stats.Run
+	var forkedNow []sim.Time
+	// Interleave the two children's construction before either runs, so
+	// any mutable sharing corrupts at least one of them.
+	var children []*Runtime
+	for range suffixes {
+		children = append(children, prt.Fork(sim.NewEngineFrom(snap), cfg))
+	}
+	for i, child := range children {
+		runPhase(t, child.Engine(), child, suffixes[i], 16)
+		forked = append(forked, child.Snapshot())
+		forkedNow = append(forkedNow, child.Engine().Now())
+		child.CheckInvariants()
+	}
+
+	for i, suffix := range suffixes {
+		eng := sim.NewEngine()
+		rt := NewRuntime(eng, cfg)
+		runPhase(t, eng, rt, trace[:k], 16)
+		runPhase(t, eng, rt, suffix, 16)
+		if eng.Now() != forkedNow[i] {
+			t.Errorf("suffix %d: wall time: continuation %d, fork %d", i, eng.Now(), forkedNow[i])
+		}
+		if m := rt.Snapshot(); m != forked[i] {
+			t.Errorf("suffix %d: metrics diverged:\ncontinuation: %+v\nfork:         %+v", i, m, forked[i])
+		}
+	}
+}
+
+// TestForkCanonicalParent is the cross-config sharing contract: a child
+// forked off a parent that simulated the prefix under PrefixConfig(cfg)
+// must be byte-identical to a monolithic continuation under cfg itself,
+// for every axis PrefixConfig normalizes. This is what lets one warm-up
+// parent serve a whole sweep (Tier-2 ratios, Tier-2 replacement
+// policies, seeds, Random-vs-TierOrder placement).
+func TestForkCanonicalParent(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Policy = PolicyTierOrder
+		cfg.Tier1Pages = 128
+		cfg.Tier2Pages = 256
+		cfg.FootprintPages = 512
+		return cfg
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"random-placement", func(c *Config) { c.Policy = PolicyRandom; c.Seed = 7 }},
+		{"tier2-capacity", func(c *Config) { c.Tier2Pages = 64 }},
+		{"tier2-policy", func(c *Config) { c.Tier2Policy = tier.StoreLRUK }},
+		{"track-reuse", func(c *Config) { c.TrackTier2Reuse = true }},
+		{"evict-knobs", func(c *Config) {
+			c.Tier2EvictOverhead = 9 * sim.Microsecond
+			c.AsyncEviction = true
+		}},
+		{"reuse-backfill", func(c *Config) {
+			c.Policy = PolicyReuse
+			c.BackfillThreshold = 0.5
+			c.BackfillWindow = 16
+			c.MaxClockRetries = 2
+			c.Predictor = PredictorLastClass
+			c.Seed = 13
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		canon := PrefixConfig(cfg)
+		if reflect.DeepEqual(canon, cfg) {
+			t.Fatalf("%s: mutation not normalized by PrefixConfig; case tests nothing", tc.name)
+		}
+		trace := forkTrace(128, 3000, 512)
+		k := EvictionFreePrefix(trace, cfg.Tier1Pages)
+
+		// Continuation: the real config end to end.
+		eng1 := sim.NewEngine()
+		rt1 := NewRuntime(eng1, cfg)
+		runPhase(t, eng1, rt1, trace[:k], 16)
+		runPhase(t, eng1, rt1, trace[k:], 16)
+
+		// Fork: prefix under the canonical config, child under the real one.
+		eng2 := sim.NewEngine()
+		rt2 := NewRuntime(eng2, canon)
+		runPhase(t, eng2, rt2, trace[:k], 16)
+		child := rt2.Fork(sim.NewEngineFrom(eng2.Snapshot()), cfg)
+		runPhase(t, child.Engine(), child, trace[k:], 16)
+
+		if eng1.Now() != child.Engine().Now() {
+			t.Errorf("%s: wall time: continuation %d, fork %d", tc.name, eng1.Now(), child.Engine().Now())
+		}
+		if eng1.Steps() != child.Engine().Steps() {
+			t.Errorf("%s: dispatched events: continuation %d, fork %d", tc.name, eng1.Steps(), child.Engine().Steps())
+		}
+		if m1, m2 := rt1.Snapshot(), child.Snapshot(); m1 != m2 {
+			t.Errorf("%s: metrics diverged:\ncontinuation: %+v\nfork:         %+v", tc.name, m1, m2)
+		}
+		child.CheckInvariants()
+	}
+}
+
+func reverseAccesses(in []gpu.Access) []gpu.Access {
+	out := make([]gpu.Access, len(in))
+	for i, a := range in {
+		out[len(in)-1-i] = a
+	}
+	return out
+}
+
+// TestForkPreconditions exercises the panics that guard fork validity.
+func TestForkPreconditions(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+
+	// Evictions in the prefix.
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyReuse
+	cfg.Tier1Pages = 32
+	cfg.Tier2Pages = 64
+	cfg.FootprintPages = 128
+	eng := sim.NewEngine()
+	rt := NewRuntime(eng, cfg)
+	runPhase(t, eng, rt, forkTrace(64, 500, 128), 8) // 64 distinct > 32 slots
+	mustPanic("evicting prefix", func() { rt.Fork(sim.NewEngineFrom(eng.Snapshot()), cfg) })
+
+	// Prefetching configured.
+	cfg2 := DefaultConfig()
+	cfg2.Policy = PolicyBaM
+	cfg2.Tier1Pages = 64
+	cfg2.FootprintPages = 128
+	cfg2.PrefetchDegree = 2
+	eng2 := sim.NewEngine()
+	rt2 := NewRuntime(eng2, cfg2)
+	runPhase(t, eng2, rt2, forkTrace(16, 0, 16), 4)
+	mustPanic("prefetch", func() { rt2.Fork(sim.NewEngineFrom(eng2.Snapshot()), cfg2) })
+
+	// Child config outside the parent's prefix class.
+	cfg3 := DefaultConfig()
+	cfg3.Policy = PolicyTierOrder
+	cfg3.Tier1Pages = 64
+	cfg3.Tier2Pages = 128
+	cfg3.FootprintPages = 256
+	eng3 := sim.NewEngine()
+	rt3 := NewRuntime(eng3, cfg3)
+	runPhase(t, eng3, rt3, forkTrace(32, 0, 32), 4)
+	wrong := cfg3
+	wrong.Tier1Pages = 32 // prefix-relevant: changes when evictions start
+	mustPanic("prefix class", func() { rt3.Fork(sim.NewEngineFrom(eng3.Snapshot()), wrong) })
+}
+
+// TestEvictionFreePrefix pins the helper's boundary behavior.
+func TestEvictionFreePrefix(t *testing.T) {
+	tr := []gpu.Access{
+		{Page: 0}, {Page: 1}, gpu.Barrier, {Page: 0}, {Page: 2}, {Page: 3},
+	}
+	cases := []struct {
+		tier1 int
+		want  int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 4},  // pages 0,1 fit; barrier and the repeat of 0 extend the prefix
+		{3, 5},  // 0,1,2 fit
+		{4, 6},  // whole trace fits
+		{99, 6}, // capacity beyond footprint
+	}
+	for _, c := range cases {
+		if got := EvictionFreePrefix(tr, c.tier1); got != c.want {
+			t.Errorf("EvictionFreePrefix(tier1=%d) = %d, want %d", c.tier1, got, c.want)
+		}
+	}
+}

@@ -21,6 +21,8 @@ import "github.com/gmtsim/gmt/internal/tier"
 func (rt *Runtime) oracleEvict(ready func()) {
 	victim, vps := rt.furthest(rt.t1)
 	rt.t1.Remove(victim)
+	rt.clearT1Page(victim)
+	vps = rt.dir.own(victim)
 	vps.loc = locSSD
 	if vps.nextUse < 0 {
 		// Dead page: free (or a writeback if dirty).
@@ -42,7 +44,7 @@ func (rt *Runtime) oracleEvict(ready func()) {
 	}
 	rt.t2.Remove(t2victim)
 	rt.m.Tier2Evictions++
-	rt.discard(t2victim, t2ps)
+	rt.discard(t2victim, rt.dir.own(t2victim))
 	rt.placeInTier2Delayed(victim, vps, rt.cfg.Tier2EvictOverhead, ready)
 }
 

@@ -300,6 +300,9 @@ type pageState struct {
 // a single *nvme.Disk or a striped *nvme.Array.
 type Storage interface {
 	Read(lba, n int64, done func(nvme.Completion))
+	// ReadCall is the typed-callback form of Read: call(ctx, arg) runs at
+	// completion with no per-command closure (see nvme.Disk.ReadCall).
+	ReadCall(lba, n int64, call sim.EventFunc, ctx any, arg int64)
 	Write(lba, n int64, done func(nvme.Completion))
 	Stats() nvme.Stats
 }
@@ -318,12 +321,31 @@ type Runtime struct {
 	t1 *tier.Clock
 	t2 tier.Store // nil under PolicyBaM
 
+	// t1page is the SoA residency probe for the batched hit path:
+	// t1page[p] is 0 when p is not Tier-1 resident and the clock slot +1
+	// when it is (maintained at install and both eviction sites). A
+	// batch hit needs one bounds check and one int32 load per page,
+	// never a *pageState dereference.
+	t1page []int32
+	// batchOK gates AccessSyncBatch: false when any per-access side
+	// effect the batch cannot replicate is configured (history
+	// snapshots, prefetch, oracle future tracking) or the runtime was
+	// frozen by Fork.
+	batchOK bool
+
 	dir pageDirectory
 	// reserved counts Tier-1 slots committed to in-flight fetches;
 	// slotWaiters holds fetches stalled because every slot is either
 	// occupied by another in-flight fetch or unpickable.
 	reserved    int
 	slotWaiters []func()
+
+	// fetchPool / placePool / waiterPool recycle the per-miss pipeline
+	// records and waiter backing arrays so the steady-state miss path
+	// allocates nothing.
+	fetchPool  []*fetch
+	placePool  []*placement
+	waiterPool [][]func()
 
 	vtd        int64
 	sampler    *reuse.Sampler
@@ -351,9 +373,19 @@ type Runtime struct {
 	// reuseNS collects Tier-2 time-to-first-reuse intervals when
 	// Config.TrackTier2Reuse is set (nil otherwise).
 	reuseNS []int64
+
+	// frozen marks a runtime that has been forked: its state is shared
+	// copy-on-write with children and must never change again. Mutating
+	// entry points assert against it under -tags gmtinvariants.
+	frozen bool
+	// statsBase carries the SSD counters a forked child inherited from
+	// its parent's prefix; Snapshot folds them in so a forked run
+	// reports the same drive totals a monolithic run would.
+	statsBase nvme.Stats
 }
 
 var _ gpu.SyncMemoryManager = (*Runtime)(nil)
+var _ gpu.BatchSyncMemoryManager = (*Runtime)(nil)
 
 // NewRuntime builds a runtime (and its devices) on eng.
 func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
@@ -363,12 +395,7 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 	if cfg.PageSize <= 0 {
 		panic("core: PageSize must be positive")
 	}
-	var storage Storage
-	if cfg.SSDCount > 1 {
-		storage = nvme.NewArray(eng, cfg.SSD, cfg.SSDCount)
-	} else {
-		storage = nvme.New(eng, cfg.SSD)
-	}
+	storage := newStorage(eng, cfg)
 	rng := cfg.RNG
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed))
@@ -386,21 +413,7 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		},
 	}
 	rt.mover = xfer.NewEngine(eng, rt.hostLink, cfg.Transfer)
-	if cfg.Policy != PolicyBaM {
-		if cfg.Tier2Pages < 1 {
-			panic("core: Tier2Pages must be >= 1 for 3-tier policies")
-		}
-		switch {
-		case cfg.Tier2Policy != "":
-			rt.t2 = tier.NewStore(cfg.Tier2Policy, cfg.Tier2Pages)
-		case cfg.Policy == PolicyTierOrder:
-			// §2.1.1: clock replacement in both top tiers.
-			rt.t2 = tier.NewClock(cfg.Tier2Pages)
-		default:
-			// §2.2: FIFO in Tier-2 otherwise.
-			rt.t2 = tier.NewFIFO(cfg.Tier2Pages)
-		}
-	}
+	rt.t2 = newTier2(cfg)
 	if cfg.Policy == PolicyReuse {
 		rt.sampler = reuse.NewSampler(cfg.SampleTarget, cfg.SampleBatch)
 		rt.sampler.SetPipelined(!cfg.UnpipelinedRegression)
@@ -422,11 +435,42 @@ func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
 		if rt.t2 != nil {
 			rt.t2.Reserve(cfg.FootprintPages)
 		}
+		rt.t1page = make([]int32, cfg.FootprintPages)
 	}
 	rt.m.Policy = cfg.Policy.String()
 	rt.historySample = int64(cfg.HistorySample)
 	rt.hotAux = rt.historySample > 0 || rt.sampler != nil
+	rt.batchOK = rt.historySample == 0 && cfg.PrefetchDegree == 0 && rt.nextOcc == nil
 	return rt
+}
+
+// newStorage builds the drive (or striped array) for cfg on eng.
+func newStorage(eng *sim.Engine, cfg Config) Storage {
+	if cfg.SSDCount > 1 {
+		return nvme.NewArray(eng, cfg.SSD, cfg.SSDCount)
+	}
+	return nvme.New(eng, cfg.SSD)
+}
+
+// newTier2 builds the Tier-2 store for cfg (nil under PolicyBaM): the
+// configured override, Clock under TierOrder (§2.1.1), FIFO otherwise
+// (§2.2). Shared between NewRuntime and Fork, which gives each child a
+// fresh, empty store.
+func newTier2(cfg Config) tier.Store {
+	if cfg.Policy == PolicyBaM {
+		return nil
+	}
+	if cfg.Tier2Pages < 1 {
+		panic("core: Tier2Pages must be >= 1 for 3-tier policies")
+	}
+	switch {
+	case cfg.Tier2Policy != "":
+		return tier.NewStore(cfg.Tier2Policy, cfg.Tier2Pages)
+	case cfg.Policy == PolicyTierOrder:
+		return tier.NewClock(cfg.Tier2Pages)
+	default:
+		return tier.NewFIFO(cfg.Tier2Pages)
+	}
 }
 
 // nextOccurrences computes, for each position, the next position of the
@@ -466,6 +510,10 @@ func nextOccurrences(future []tier.PageID) []int64 {
 	}
 	return next
 }
+
+// Engine exposes the engine this runtime schedules on (for forked
+// children, the engine passed to Fork).
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
 
 // SSD exposes the simulated drive (for experiment-level stats).
 func (rt *Runtime) SSD() Storage { return rt.ssd }
@@ -524,12 +572,18 @@ func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 		if idx >= int64(len(rt.nextOcc)) {
 			panic("core: access beyond Config.Future")
 		}
+		ps = rt.dir.own(a.Page)
 		ps.nextUse = rt.nextOcc[idx]
 	}
 	if ps.loc == locTier1 {
 		rt.m.Tier1Hits++
 		rt.t1.TouchSlot(ps.t1slot)
 		if a.Write {
+			// A write to a fork-inherited page materializes its chunk
+			// first; the dirty bit must land on this runtime's copy.
+			if !rt.dir.writable(a.Page) {
+				ps = rt.dir.ownSlow(a.Page)
+			}
 			ps.dirty = true
 		}
 		if ps.prefetched {
@@ -540,6 +594,10 @@ func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 	}
 	switch ps.loc {
 	case locInFlight:
+		// In-flight pages were materialized when their fetch began, so
+		// the waiter append below never lands on shared state.
+		invariant.Assert(rt.dir.writable(a.Page),
+			"core: in-flight page %d aliases a fork parent", a.Page)
 		rt.m.InFlightJoins++
 		if a.Write {
 			ps.pendingDirty = true
@@ -550,15 +608,82 @@ func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 		}
 		ps.waiters = append(ps.waiters, done)
 	case locTier2:
+		ps = rt.dir.own(a.Page)
 		rt.evaluateEviction(ps, idx)
 		rt.fetchFromTier2(a, ps, done)
 	case locSSD:
+		ps = rt.dir.own(a.Page)
 		rt.evaluateEviction(ps, idx)
 		rt.fetchFromSSD(a, ps, done)
 	default:
 		panic("core: invalid page location")
 	}
 	return false
+}
+
+// AccessSyncBatch implements gpu.BatchSyncMemoryManager: it consumes
+// the leading run of accs (at most max) that are Tier-1 hits, applying
+// exactly the per-access state a run of hitting AccessSync calls would
+// — slot touch, dirty bit on writes, reuse-sampler observation — with
+// the counters (vtd, accesses, hits) applied once per batch. The run
+// stops at the first non-hit: a barrier sentinel, a page outside the
+// directory, a miss, or a write to a fork-inherited page that has not
+// been materialized yet (the scalar path copies it first). Whole
+// configurations whose per-access side effects cannot be replayed in
+// bulk (history snapshots, prefetch, the oracle's future cursor) refuse
+// batching outright via batchOK and fall back to AccessSync.
+//
+//gmt:hotpath
+func (rt *Runtime) AccessSyncBatch(accs []gpu.Access, max int) int {
+	if !rt.batchOK {
+		return 0
+	}
+	if invariant.Enabled {
+		invariant.Assert(rt.t1.Len()+rt.reserved <= rt.t1.Capacity(),
+			"core: tier-1 oversubscribed: %d resident + %d reserved > %d slots",
+			rt.t1.Len(), rt.reserved, rt.t1.Capacity())
+		rt.hostLink.CheckInvariants()
+	}
+	if max > len(accs) {
+		max = len(accs)
+	}
+	t1p := rt.t1page
+	dir := rt.dir.dir
+	sampled := rt.sampler != nil
+	n := 0
+	for n < max {
+		a := accs[n]
+		// The unsigned compare rejects negative sentinels (barriers)
+		// along with pages beyond the probe array.
+		if uint64(a.Page) >= uint64(len(t1p)) {
+			break
+		}
+		slot := t1p[a.Page]
+		if slot == 0 {
+			break
+		}
+		if a.Write {
+			var ps *pageState
+			if uint64(a.Page) < uint64(len(dir)) {
+				ps = dir[a.Page]
+			}
+			if ps == nil || !rt.dir.writable(a.Page) {
+				break
+			}
+			ps.dirty = true
+		}
+		rt.t1.TouchSlot(slot - 1)
+		if sampled {
+			rt.accessAux(a.Page)
+		}
+		n++
+	}
+	if n > 0 {
+		rt.vtd += int64(n)
+		rt.m.Accesses += int64(n)
+		rt.m.Tier1Hits += int64(n)
+	}
+	return n
 }
 
 // accessAux is the cold sampling tail of the access prefix: metric
@@ -605,6 +730,73 @@ func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
 	ps.hasHistory = true
 }
 
+// fetch carries one miss through its fill pipeline: Tier-1 slot
+// reservation → lookup/metadata latency → data movement (drive read or
+// Tier-2 page move) → install. Fetches are pooled on the Runtime and
+// their stage callbacks are bound once at construction, so the
+// steady-state miss path performs no per-fetch allocation.
+type fetch struct {
+	rt     *Runtime
+	page   tier.PageID
+	lookup sim.Time // pre-transfer metadata latency
+
+	startSSD func() // slot reserved: run the SSD fill pipeline
+	startT2  func() // slot reserved: run the Tier-2 fill pipeline
+}
+
+// Typed stages of the fill pipeline (zero-alloc AfterCall/ReadCall/
+// MovePageCall paths).
+
+func fetchSSDReady(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	f.rt.ssd.ReadCall(int64(f.page), f.rt.cfg.PageSize, fetchLanded, f, 0)
+}
+
+func fetchT2Ready(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	f.rt.mover.MovePageCall(false, gpu.WarpThreads, fetchMoved, f, 0)
+}
+
+// fetchLanded completes an SSD fill.
+func fetchLanded(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	rt, p := f.rt, f.page
+	// Recycle before landing: install may trigger further fetches, which
+	// are free to reuse this record.
+	rt.fetchPool = append(rt.fetchPool, f)
+	rt.landFill(p)
+}
+
+// fetchMoved completes a Tier-2 page move down.
+func fetchMoved(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	rt, p := f.rt, f.page
+	rt.fetchPool = append(rt.fetchPool, f)
+	rt.m.PagesToGPU++
+	rt.install(p)
+}
+
+// newFetch pops a pooled fetch or builds one. The two start callbacks
+// close only over the fetch itself and are bound once; pool misses are
+// amortized away by reuse.
+//
+//gmt:coldpath
+func (rt *Runtime) newFetch() *fetch {
+	if n := len(rt.fetchPool); n > 0 {
+		f := rt.fetchPool[n-1]
+		rt.fetchPool = rt.fetchPool[:n-1]
+		return f
+	}
+	f := &fetch{rt: rt}
+	f.startSSD = func() {
+		f.rt.eng.AfterCall(f.lookup, fetchSSDReady, f, 0)
+	}
+	f.startT2 = func() {
+		f.rt.eng.AfterCall(f.lookup, fetchT2Ready, f, 0)
+	}
+	return f
+}
+
 // fetchFromTier2 serves a miss from host memory: a useful Tier-2 lookup,
 // then a GPU-orchestrated page move down (Hybrid-XT, §2.3).
 //
@@ -620,15 +812,10 @@ func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 	// beginFetch means the vacated slot is available to the victim —
 	// the "demand miss creates a free slot" flow of §2.2.
 	rt.t2.Remove(a.Page)
-	rt.beginFetch(a, ps, done, func() {
-		//lint:ignore hotclosure miss path; the capture is per-fetch state and transfer latency dominates
-		rt.eng.After(rt.cfg.Tier2Lookup+rt.cfg.HostSWOverhead, func() {
-			rt.mover.MovePage(false, gpu.WarpThreads, func() {
-				rt.m.PagesToGPU++
-				rt.install(a.Page)
-			})
-		})
-	})
+	f := rt.newFetch()
+	f.page = a.Page
+	f.lookup = rt.cfg.Tier2Lookup + rt.cfg.HostSWOverhead
+	rt.beginFetch(a, ps, done, f.startT2)
 }
 
 // fetchFromSSD serves a miss from the drive, bypassing Tier-2 on the
@@ -644,14 +831,10 @@ func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
 		lookup = rt.cfg.Tier2Lookup
 	}
 	rt.m.SSDFills++
-	rt.beginFetch(a, ps, done, func() {
-		//lint:ignore hotclosure miss path; the capture is per-fetch state and drive latency dominates
-		rt.eng.After(lookup, func() {
-			rt.ssd.Read(int64(a.Page), rt.cfg.PageSize, func(nvme.Completion) {
-				rt.landFill(a.Page)
-			})
-		})
-	})
+	f := rt.newFetch()
+	f.page = a.Page
+	f.lookup = lookup
+	rt.beginFetch(a, ps, done, f.startSSD)
 	if rt.cfg.PrefetchDegree > 0 {
 		rt.prefetchAfter(a.Page)
 	}
@@ -688,13 +871,14 @@ func (rt *Runtime) prefetchAfter(p tier.PageID) {
 		if rt.t1.Len()+rt.reserved >= rt.t1.Capacity() {
 			return // no free slot; prefetch never evicts
 		}
+		qs = rt.dir.own(q)
 		rt.reserved++
 		qs.loc = locInFlight
 		qs.prefetched = true
 		rt.m.Prefetches++
-		rt.ssd.Read(int64(q), rt.cfg.PageSize, func(nvme.Completion) {
-			rt.landFill(q)
-		})
+		f := rt.newFetch()
+		f.page = q
+		rt.ssd.ReadCall(int64(q), rt.cfg.PageSize, fetchLanded, f, 0)
 	}
 }
 
@@ -704,6 +888,15 @@ func (rt *Runtime) beginFetch(a gpu.Access, ps *pageState, done, start func()) {
 	ps.loc = locInFlight
 	if a.Write {
 		ps.pendingDirty = true
+	}
+	if ps.waiters == nil {
+		// Waiter backing arrays are pooled across pages: install returns
+		// them once dispatched, so the population is bounded by the peak
+		// number of concurrently in-flight pages, not by the footprint.
+		if n := len(rt.waiterPool); n > 0 {
+			ps.waiters = rt.waiterPool[n-1]
+			rt.waiterPool = rt.waiterPool[:n-1]
+		}
 	}
 	ps.waiters = append(ps.waiters, done)
 	rt.acquireSlot(start)
@@ -734,26 +927,62 @@ func (rt *Runtime) acquireSlot(start func()) {
 	start()
 }
 
+// setT1Page records p's clock slot in the batch-path residency probe.
+//
+//gmt:hotpath
+func (rt *Runtime) setT1Page(p tier.PageID, slot int32) {
+	if int64(p) >= int64(len(rt.t1page)) {
+		rt.growT1Page(int64(p) + 1)
+	}
+	rt.t1page[p] = slot + 1
+}
+
+// clearT1Page marks p non-resident in the batch-path probe.
+//
+//gmt:hotpath
+func (rt *Runtime) clearT1Page(p tier.PageID) {
+	if int64(p) < int64(len(rt.t1page)) {
+		rt.t1page[p] = 0
+	}
+}
+
+// growT1Page extends the probe array by doubling, mirroring the page
+// directory's growth so steady state never reallocates.
+//
+//gmt:coldpath
+func (rt *Runtime) growT1Page(n int64) {
+	size := int64(len(rt.t1page))
+	if size < 64 {
+		size = 64
+	}
+	for size < n {
+		size *= 2
+	}
+	nv := make([]int32, size)
+	copy(nv, rt.t1page)
+	rt.t1page = nv
+}
+
 // install completes a fetch: the page enters Tier-1 and all waiters run.
 func (rt *Runtime) install(p tier.PageID) {
-	ps := rt.dir.get(p)
+	ps := rt.dir.own(p)
 	rt.reserved--
 	ps.t1slot = rt.t1.InsertSlot(p)
 	ps.loc = locTier1
+	rt.setT1Page(p, ps.t1slot)
 	ps.dirty = ps.pendingDirty
 	ps.pendingDirty = false
 	// Detach the waiter list before running it (a waiter may re-miss and
 	// re-queue), zero the entries so dispatched closures are collectable,
-	// then hand the backing array back to the page for reuse — unless a
-	// waiter already started a new list.
+	// then hand the backing array back to the shared pool.
 	waiters := ps.waiters
 	ps.waiters = nil
 	for i, w := range waiters {
 		waiters[i] = nil
 		w()
 	}
-	if ps.waiters == nil && waiters != nil {
-		ps.waiters = waiters[:0]
+	if waiters != nil {
+		rt.waiterPool = append(rt.waiterPool, waiters[:0])
 	}
 	if len(rt.slotWaiters) > 0 {
 		next := rt.slotWaiters[0]
@@ -777,7 +1006,8 @@ func (rt *Runtime) evictTier1(ready func()) {
 		victim, class, trained = rt.chooseReuseVictim(victim)
 	}
 	rt.t1.Remove(victim)
-	ps := rt.dir.get(victim)
+	rt.clearT1Page(victim)
+	ps := rt.dir.own(victim)
 	ps.loc = locSSD // provisional; placement may move it to Tier-2
 	if rt.cfg.Policy == PolicyReuse {
 		ps.evictVTD = rt.vtd
@@ -912,7 +1142,7 @@ func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.C
 // eligible, reporting whether a slot was freed.
 func (rt *Runtime) reclaimTier2(eligible func(*pageState) bool) bool {
 	v := rt.t2.Victim()
-	vps := rt.dir.get(v)
+	vps := rt.dir.own(v)
 	if !eligible(vps) {
 		return false
 	}
@@ -951,7 +1181,7 @@ func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready
 		t2v := rt.t2.Victim()
 		rt.t2.Remove(t2v)
 		rt.m.Tier2Evictions++
-		rt.discard(t2v, rt.dir.get(t2v))
+		rt.discard(t2v, rt.dir.own(t2v))
 		// The replacement pass over host-resident metadata delays the
 		// warp before it can start the placement transfer.
 		overhead = rt.cfg.Tier2EvictOverhead
@@ -964,6 +1194,43 @@ func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready
 // ready fires when the transfer lands.
 func (rt *Runtime) placeInTier2(victim tier.PageID, ps *pageState, ready func()) {
 	rt.placeInTier2Delayed(victim, ps, 0, ready)
+}
+
+// placement carries one Tier-2 placement through its metadata delay and
+// page move. Placements are pooled on the Runtime and their stages are
+// top-level EventFuncs, mirroring the fetch pool.
+type placement struct {
+	rt    *Runtime
+	ready func()
+}
+
+// placementRun starts the page move to host memory.
+func placementRun(ctx any, _ int64) {
+	pl := ctx.(*placement)
+	pl.rt.mover.MovePageCall(true, gpu.WarpThreads, placementDone, pl, 0)
+}
+
+// placementDone recycles the placement and unblocks the evicting fetch.
+func placementDone(ctx any, _ int64) {
+	pl := ctx.(*placement)
+	rt, ready := pl.rt, pl.ready
+	pl.ready = nil
+	rt.placePool = append(rt.placePool, pl)
+	if ready != nil {
+		ready()
+	}
+}
+
+// newPlacement pops a pooled placement or allocates one.
+//
+//gmt:coldpath
+func (rt *Runtime) newPlacement() *placement {
+	if n := len(rt.placePool); n > 0 {
+		pl := rt.placePool[n-1]
+		rt.placePool = rt.placePool[:n-1]
+		return pl
+	}
+	return &placement{rt: rt}
 }
 
 // placeInTier2Delayed reserves the Tier-2 slot immediately (so
@@ -981,12 +1248,13 @@ func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay 
 		ready()
 		ready = nil
 	}
-	move := func() { rt.mover.MovePage(true, gpu.WarpThreads, ready) }
+	pl := rt.newPlacement()
+	pl.ready = ready
 	if delay > 0 {
-		rt.eng.AfterCall(delay, sim.CallFunc, move, 0)
+		rt.eng.AfterCall(delay, placementRun, pl, 0)
 		return
 	}
-	move()
+	placementRun(pl, 0)
 }
 
 // discard drops a clean page (its home copy on the SSD is current) or
@@ -1006,10 +1274,13 @@ func (rt *Runtime) discard(p tier.PageID, ps *pageState) {
 func (rt *Runtime) Snapshot() stats.Run {
 	m := rt.m
 	ds := rt.ssd.Stats()
-	m.SSDReads = ds.Reads
-	m.SSDWrites = ds.Writes
-	m.SSDReadBytes = ds.ReadBytes
-	m.SSDWriteBytes = ds.WriteBytes
+	// statsBase is the prefix contribution a forked child inherited
+	// (zero for ordinary runtimes): fold it in so forked and monolithic
+	// runs report identical drive totals.
+	m.SSDReads = rt.statsBase.Reads + ds.Reads
+	m.SSDWrites = rt.statsBase.Writes + ds.Writes
+	m.SSDReadBytes = rt.statsBase.ReadBytes + ds.ReadBytes
+	m.SSDWriteBytes = rt.statsBase.WriteBytes + ds.WriteBytes
 	if rt.sampler != nil {
 		m.RegressionBatches = int64(rt.sampler.Batches())
 		m.SamplePairs = int64(rt.sampler.Pairs())

@@ -256,20 +256,28 @@ type SensitivityRow struct {
 
 // figure11Suites derives Figure 11's two alternate-scale sub-suites
 // from the parent: doubled oversubscription for the non-graph
-// applications, halved tiers for the graph applications.
+// applications (the paper doubles those datasets), halved tiers for the
+// graph applications (same datasets, half the machine — so the graph
+// sub-suite adopts the parent's workloads instead of regenerating
+// them). Both phase their runs at the warm-up prefix.
 func (s *Suite) figure11Suites() (ng, g *Suite) {
 	base := s.Scale
 	ng = s.derived("fig11/nongraph", func() *Suite {
 		sc := base
 		sc.Oversubscription = 2 * base.Oversubscription
-		return NewRegularSuite(sc)
+		sub := NewRegularSuite(sc)
+		sub.phased = true
+		return sub
 	})
 	g = s.derived("fig11/graph", func() *Suite {
-		return NewSuite(workload.Scale{
+		sub := NewSuite(workload.Scale{
 			Tier1Pages:       base.Tier1Pages / 2,
 			Tier2Pages:       base.Tier2Pages / 2,
 			Oversubscription: base.Oversubscription,
 		})
+		sub.phased = true
+		sub.adoptData(s)
+		return sub
 	})
 	return ng, g
 }
@@ -322,7 +330,11 @@ func appByName(s *Suite, name string) workload.Workload {
 // figure12Ratios are the Tier-2:Tier-1 ratios Figure 12 sweeps.
 var figure12Ratios = []int{2, 4, 8}
 
-// figure12Suites derives one sub-suite per Tier-2:Tier-1 ratio.
+// figure12Suites derives one sub-suite per Tier-2:Tier-1 ratio. The
+// ratio sweep varies only host-memory capacity, so every sub-suite
+// adopts the parent's datasets: traces are shared across ratios, and
+// the phased runs fork one warm-up parent per app and policy class
+// (Tier-2 sizing is prefix-inert; see core.PrefixConfig).
 func (s *Suite) figure12Suites() map[int]*Suite {
 	base := s.Scale
 	suites := make(map[int]*Suite)
@@ -331,7 +343,10 @@ func (s *Suite) figure12Suites() map[int]*Suite {
 		suites[ratio] = s.derived(fmt.Sprintf("fig12/ratio%d", ratio), func() *Suite {
 			sc := base
 			sc.Tier2Pages = ratio * base.Tier1Pages
-			return NewSuite(sc)
+			sub := NewSuite(sc)
+			sub.phased = true
+			sub.adoptData(s)
+			return sub
 		})
 	}
 	return suites
@@ -364,11 +379,13 @@ func Figure12(s *Suite) (map[int][]SensitivityRow, *stats.Table) {
 func (s *Suite) figure13Suite() *Suite {
 	base := s.Scale
 	return s.derived("fig13", func() *Suite {
-		return NewRegularSuite(workload.Scale{
+		sub := NewRegularSuite(workload.Scale{
 			Tier1Pages:       2 * base.Tier1Pages,
 			Tier2Pages:       2 * base.Tier2Pages,
 			Oversubscription: base.Oversubscription,
 		})
+		sub.phased = true
+		return sub
 	})
 }
 

@@ -39,6 +39,24 @@ type Suite struct {
 	GPU   gpu.Config
 	Seed  int64
 
+	// NoFork disables cross-sweep-point sharing: warm-up prefix forking,
+	// canonical BaM run dedup, and parent-trace reuse by derived
+	// sub-suites (each regenerates its own identical copies instead).
+	// Phased runs still split at the same points, so every result stays
+	// byte-identical with or without it — gmtbench -nofork uses this to
+	// measure the sharing speedup honestly. Set before first use.
+	NoFork bool
+
+	// phased marks a sensitivity sub-suite whose simulations split at
+	// the eviction-free warm-up prefix (runPhased), letting sweep points
+	// that agree on the prefix fork one shared warm-up parent. data,
+	// when non-nil, is the suite whose workloads and trace memo this
+	// suite borrows (the sweep varies the machine, not the datasets);
+	// share holds the root's cross-suite caches (phased.go).
+	phased bool
+	data   *Suite
+	share  *shareCache
+
 	label string // distinguishes derived sub-suites in planner job keys
 	apps  []workload.Workload
 	kvApp workload.Workload // lazily built KV-serving workload
@@ -61,6 +79,7 @@ func NewSuite(scale workload.Scale) *Suite {
 		GPU:           gpu.DefaultConfig(),
 		Seed:          1,
 		label:         "root",
+		share:         newShareCache(),
 		apps:          workload.All(scale),
 		traces:        make(map[string][]gpu.Access),
 		traceInflight: make(map[string]chan struct{}),
@@ -107,6 +126,9 @@ func (s *Suite) Fingerprint() string {
 // finishes (trace generation is the second-largest cost after the
 // simulations themselves).
 func (s *Suite) Trace(w workload.Workload) []gpu.Access {
+	if s.data != nil {
+		return s.data.Trace(w)
+	}
 	name := w.Name()
 	for {
 		s.mu.Lock()
@@ -237,6 +259,7 @@ func (s *Suite) derived(key string, mk func() *Suite) *Suite {
 	if !ok {
 		sub = mk()
 		sub.label = s.label + "/" + key
+		sub.share = s.share // one sharing domain per root suite
 		s.subs[key] = sub
 		s.subOrder = append(s.subOrder, key)
 	}
@@ -247,6 +270,9 @@ func (s *Suite) derived(key string, mk func() *Suite) *Suite {
 	}
 	if sub.GPU != s.GPU {
 		sub.GPU = s.GPU
+	}
+	if sub.NoFork != s.NoFork {
+		sub.NoFork = s.NoFork
 	}
 	return sub
 }
@@ -268,22 +294,8 @@ func (s *Suite) config(p core.PolicyKind) core.Config {
 func (s *Suite) Run(w workload.Workload, p core.PolicyKind) stats.Run {
 	cfg := s.config(p)
 	cfg.FootprintPages = int(w.Pages())
-	gcfg := s.GPU
 	return s.memoRun(w.Name()+"/"+p.String(), func() stats.Run {
-		eng := sim.NewEngine()
-		rt := core.NewRuntime(eng, cfg)
-		g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
-		g.Launch()
-		eng.Run()
-		if !g.Done() {
-			panic(fmt.Sprintf("exp: %s under %v did not finish", w.Name(), p))
-		}
-		m := rt.Snapshot()
-		m.App = w.Name()
-		m.WallTime = eng.Now()
-		m.WarpComputeNS = g.ComputeTime()
-		m.WarpStallNS = g.StallTime()
-		return m
+		return s.simulate(w, cfg)
 	})
 }
 

@@ -124,6 +124,132 @@ type Disk struct {
 	readBytes, writeBytes int64
 	latencySum            sim.Time
 	completions           int64
+
+	pool []*request // recycled command records
+}
+
+// request carries one command through the service pipeline: queue slot →
+// doorbell overhead → flash channel → media latency → media bandwidth →
+// drive link → completion. Requests are pooled on the Disk and every
+// stage is a top-level EventFunc with the request as context, so
+// steady-state command traffic performs no allocation.
+type request struct {
+	d         *Disk
+	q         *sim.Server
+	cmd       Command
+	submitted sim.Time
+	done      func(Completion) // optional: completion entry, by value
+	call      sim.EventFunc    // optional: typed completion, no entry
+	ctx       any
+	arg       int64
+}
+
+// Stages of the command pipeline. All scheduling rides the typed
+// AcquireCall/AfterCall/TransferCall paths.
+
+// requestEnter runs when the submission-queue slot is granted.
+func requestEnter(ctx any, _ int64) {
+	r := ctx.(*request)
+	d := r.d
+	invariant.Assert(r.q.InUse() <= d.cfg.QueueDepth,
+		"nvme: %d commands in flight on one queue pair, above configured QD %d",
+		r.q.InUse(), d.cfg.QueueDepth)
+	r.submitted = d.eng.Now()
+	// Doorbell + command fetch.
+	d.eng.AfterCall(d.cfg.CommandOverhead, requestFetched, r, 0)
+}
+
+// requestFetched runs when the controller has fetched the command.
+func requestFetched(ctx any, _ int64) {
+	r := ctx.(*request)
+	r.d.chans.AcquireCall(requestService, r, 0)
+}
+
+// requestService runs when a flash channel is granted.
+func requestService(ctx any, _ int64) {
+	r := ctx.(*request)
+	d := r.d
+	invariant.Assert(d.chans.InUse() <= d.cfg.Channels,
+		"nvme: %d flash channels busy, above configured %d", d.chans.InUse(), d.cfg.Channels)
+	switch r.cmd.Op {
+	case OpRead:
+		d.reads++
+		d.readBytes += r.cmd.Bytes
+		d.eng.AfterCall(d.cfg.ReadLatency, requestReadMedia, r, 0)
+	case OpWrite:
+		d.writes++
+		d.writeBytes += r.cmd.Bytes
+		// Data first crosses the link into the drive buffer, then is
+		// programmed to media; completion is posted after buffering +
+		// program start (write-back cache typical of consumer drives
+		// would post earlier; we post after program for conservatism).
+		d.link.Up.TransferCall(r.cmd.Bytes, requestBuffered, r, 0)
+	default:
+		panic("nvme: unknown opcode")
+	}
+}
+
+// requestReadMedia runs after the media read latency: stream the data
+// off the media at its byte rate.
+func requestReadMedia(ctx any, _ int64) {
+	r := ctx.(*request)
+	r.d.read.TransferCall(r.cmd.Bytes, requestLinkDown, r, 0)
+}
+
+// requestLinkDown streams read data across the drive link toward the
+// requester.
+func requestLinkDown(ctx any, _ int64) {
+	r := ctx.(*request)
+	r.d.link.Down.TransferCall(r.cmd.Bytes, requestFinish, r, 0)
+}
+
+// requestBuffered runs when write data has landed in the drive buffer:
+// wait out the program latency.
+func requestBuffered(ctx any, _ int64) {
+	r := ctx.(*request)
+	r.d.eng.AfterCall(r.d.cfg.WriteLatency, requestWriteMedia, r, 0)
+}
+
+// requestWriteMedia programs write data to media at its byte rate.
+func requestWriteMedia(ctx any, _ int64) {
+	r := ctx.(*request)
+	r.d.write.TransferCall(r.cmd.Bytes, requestFinish, r, 0)
+}
+
+// requestFinish posts the completion entry and recycles the request.
+func requestFinish(ctx any, _ int64) {
+	r := ctx.(*request)
+	d := r.d
+	d.chans.Release()
+	r.q.Release()
+	d.link.CheckInvariants()
+	c := Completion{Command: r.cmd, Submitted: r.submitted, Done: d.eng.Now()}
+	d.completions++
+	d.latencySum += c.Latency()
+	done, call, cctx, carg := r.done, r.call, r.ctx, r.arg
+	// Recycle before invoking the callback: it may Submit again and is
+	// free to reuse this record, since c carries everything it needs.
+	r.done, r.call, r.ctx, r.q = nil, nil, nil, nil
+	d.pool = append(d.pool, r)
+	if done != nil {
+		done(c)
+	}
+	if call != nil {
+		call(cctx, carg)
+	}
+}
+
+// newRequest pops a pooled request or allocates one; pool misses are
+// amortized away by reuse.
+//
+//gmt:coldpath
+func (d *Disk) newRequest() *request {
+	if n := len(d.pool); n > 0 {
+		r := d.pool[n-1]
+		d.pool = d.pool[:n-1]
+		return r
+	}
+	return &request{d: d}
 }
 
 // New returns a disk attached to eng.
@@ -159,64 +285,32 @@ func (d *Disk) Submit(cmd Command, done func(Completion)) {
 	if cmd.Bytes <= 0 {
 		panic("nvme: command with non-positive byte count")
 	}
-	q := d.queues[d.next]
+	r := d.newRequest()
+	r.cmd = cmd
+	r.done = done
+	r.q = d.queues[d.next]
 	d.next = (d.next + 1) % len(d.queues)
-	q.Acquire(func() {
-		invariant.Assert(q.InUse() <= d.cfg.QueueDepth,
-			"nvme: %d commands in flight on one queue pair, above configured QD %d",
-			q.InUse(), d.cfg.QueueDepth)
-		submitted := d.eng.Now()
-		// Doorbell + command fetch.
-		//lint:ignore hotclosure per-command chain capturing queue/completion state; drive latency dominates
-		d.eng.After(d.cfg.CommandOverhead, func() {
-			d.chans.Acquire(func() {
-				d.service(q, cmd, submitted, done)
-			})
-		})
-	})
+	r.q.AcquireCall(requestEnter, r, 0)
 }
 
-func (d *Disk) service(q *sim.Server, cmd Command, submitted sim.Time, done func(Completion)) {
-	invariant.Assert(d.chans.InUse() <= d.cfg.Channels,
-		"nvme: %d flash channels busy, above configured %d", d.chans.InUse(), d.cfg.Channels)
-	finish := func() {
-		d.chans.Release()
-		q.Release()
-		d.link.CheckInvariants()
-		c := Completion{Command: cmd, Submitted: submitted, Done: d.eng.Now()}
-		d.completions++
-		d.latencySum += c.Latency()
-		if done != nil {
-			done(c)
-		}
+// SubmitCall is the typed-callback form of Submit for callers that do
+// not need the Completion entry: call(ctx, arg) runs when the completion
+// is posted, with no per-command closure.
+func (d *Disk) SubmitCall(cmd Command, call sim.EventFunc, ctx any, arg int64) {
+	if cmd.Bytes <= 0 {
+		panic("nvme: command with non-positive byte count")
 	}
-	switch cmd.Op {
-	case OpRead:
-		d.reads++
-		d.readBytes += cmd.Bytes
-		//lint:ignore hotclosure per-command chain capturing transfer state; media latency dominates
-		d.eng.After(d.cfg.ReadLatency, func() {
-			d.read.Transfer(cmd.Bytes, func() {
-				// Data crosses the drive link toward the requester.
-				d.link.Down.Transfer(cmd.Bytes, finish)
-			})
-		})
-	case OpWrite:
-		d.writes++
-		d.writeBytes += cmd.Bytes
-		// Data first crosses the link into the drive buffer, then is
-		// programmed to media; completion is posted after buffering +
-		// program start (write-back cache typical of consumer drives
-		// would post earlier; we post after program for conservatism).
-		d.link.Up.Transfer(cmd.Bytes, func() {
-			//lint:ignore hotclosure per-command chain capturing transfer state; media latency dominates
-			d.eng.After(d.cfg.WriteLatency, func() {
-				d.write.Transfer(cmd.Bytes, finish)
-			})
-		})
-	default:
-		panic("nvme: unknown opcode")
-	}
+	r := d.newRequest()
+	r.cmd = cmd
+	r.call, r.ctx, r.arg = call, ctx, arg
+	r.q = d.queues[d.next]
+	d.next = (d.next + 1) % len(d.queues)
+	r.q.AcquireCall(requestEnter, r, 0)
+}
+
+// ReadCall is the typed-callback form of Read.
+func (d *Disk) ReadCall(lba, n int64, call sim.EventFunc, ctx any, arg int64) {
+	d.SubmitCall(Command{Op: OpRead, LBA: lba, Bytes: n}, call, ctx, arg)
 }
 
 // Read is a convenience wrapper issuing an OpRead of n bytes at lba.

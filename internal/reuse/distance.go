@@ -15,14 +15,19 @@ import "github.com/gmtsim/gmt/internal/tier"
 // It is the model of the dedicated CPU thread that consumes GPU-pushed
 // samples and converts VTDs into true reuse distances.
 type DistanceTracker struct {
-	last map[tier.PageID]int
-	bit  fenwick
-	pos  int
+	// last holds the most recent access position per page, dense-indexed
+	// by page ID per the bounded-page-ID contract (-1 = unseen); the rare
+	// negative ID (e.g. a barrier marker fed by an offline analysis)
+	// falls back to lastNeg.
+	last    []int64
+	lastNeg map[tier.PageID]int
+	bit     fenwick
+	pos     int
 }
 
 // NewDistanceTracker returns an empty tracker.
 func NewDistanceTracker() *DistanceTracker {
-	return &DistanceTracker{last: make(map[tier.PageID]int)}
+	return &DistanceTracker{}
 }
 
 // Observe records an access to p and reports its VTD and reuse distance.
@@ -30,7 +35,8 @@ func NewDistanceTracker() *DistanceTracker {
 func (t *DistanceTracker) Observe(p tier.PageID) (vtd, rd int64, ok bool) {
 	cur := t.pos
 	t.pos++
-	if lp, seen := t.last[p]; seen {
+	lp, seen := t.lookup(p)
+	if seen {
 		vtd = int64(cur - lp)
 		// Distinct pages accessed strictly between the two accesses of
 		// p: pages whose most recent access lies in (lp, cur).
@@ -39,8 +45,74 @@ func (t *DistanceTracker) Observe(p tier.PageID) (vtd, rd int64, ok bool) {
 		t.bit.Add(lp, -1)
 	}
 	t.bit.Add(cur, 1)
-	t.last[p] = cur
+	t.store(p, cur)
 	return vtd, rd, ok
+}
+
+// lookup reports p's most recent access position.
+func (t *DistanceTracker) lookup(p tier.PageID) (int, bool) {
+	if p < 0 {
+		lp, seen := t.lastNeg[p]
+		return lp, seen
+	}
+	if int64(p) >= int64(len(t.last)) {
+		return 0, false
+	}
+	lp := t.last[p]
+	return int(lp), lp >= 0
+}
+
+// store records p's access position.
+func (t *DistanceTracker) store(p tier.PageID, cur int) {
+	if p < 0 {
+		if t.lastNeg == nil {
+			t.lastNeg = make(map[tier.PageID]int)
+		}
+		t.lastNeg[p] = cur
+		return
+	}
+	if int64(p) >= int64(len(t.last)) {
+		t.grow(int(p))
+	}
+	t.last[p] = int64(cur)
+}
+
+// grow widens the dense position table to cover page ID p.
+//
+//gmt:coldpath
+func (t *DistanceTracker) grow(p int) {
+	n := 2 * len(t.last)
+	if n < 64 {
+		n = 64
+	}
+	if n <= p {
+		n = p + 1
+	}
+	nv := make([]int64, n)
+	copy(nv, t.last)
+	for i := len(t.last); i < n; i++ {
+		nv[i] = -1
+	}
+	t.last = nv
+}
+
+// Clone returns a deep copy of the tracker.
+func (t *DistanceTracker) Clone() *DistanceTracker {
+	nt := &DistanceTracker{
+		last: append([]int64(nil), t.last...),
+		pos:  t.pos,
+	}
+	if t.lastNeg != nil {
+		nt.lastNeg = make(map[tier.PageID]int, len(t.lastNeg))
+		for p, v := range t.lastNeg {
+			nt.lastNeg[p] = v
+		}
+	}
+	nt.bit = fenwick{
+		tree: append([]int64(nil), t.bit.tree...),
+		raw:  append([]int64(nil), t.bit.raw...),
+	}
+	return nt
 }
 
 // Accesses reports how many accesses have been observed.

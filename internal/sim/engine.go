@@ -158,6 +158,40 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Snapshot is the compact state of a quiescent engine: with no events
+// pending, the wheel, the overflow ladder, and the record arena are all
+// structurally empty, so the clock and the determinism counters are the
+// entire state. Runtime forking (core.Runtime.Fork) captures one after
+// a warm-up prefix and hydrates any number of child engines from it.
+type Snapshot struct {
+	now   Time
+	seq   int64
+	steps int64
+}
+
+// Now reports the captured virtual time.
+func (s Snapshot) Now() Time { return s.now }
+
+// Snapshot captures the engine's state. It panics if events are still
+// pending: forks are only defined at quiescence, where the wheel is
+// empty and the snapshot is exact rather than a deep copy.
+func (e *Engine) Snapshot() Snapshot {
+	if e.pending != 0 {
+		panic(fmt.Sprintf("sim: Snapshot with %d events pending", e.pending))
+	}
+	return Snapshot{now: e.now, seq: e.seq, steps: e.steps}
+}
+
+// NewEngineFrom returns a fresh engine whose clock, sequence counter,
+// and dispatch count continue from snap. The wheel cursor rebases to
+// the snapshot time, which preserves the placement invariant (every
+// future event is >= now >= cur); because the sequence counter also
+// continues, equal-time tie-breaking in a child matches what the parent
+// engine would have done had it kept running.
+func NewEngineFrom(snap Snapshot) *Engine {
+	return &Engine{now: snap.now, cur: snap.now, seq: snap.seq, steps: snap.steps}
+}
+
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -401,12 +435,17 @@ func (e *Engine) acquireRecord() int32 {
 	return int32(len(e.recs) - 1)
 }
 
-// releaseRecord zeroes the record — dropping its callback, context, and
-// closure references so everything they kept alive becomes collectable —
-// and returns the index to the free list.
+// releaseRecord returns the index to the free list. The record's
+// callback and context fields are deliberately NOT zeroed here: the
+// next schedule overwrites every field, so zeroing per event would pay
+// a typed memclr plus write barriers only to be overwritten. A free
+// record therefore pins its last ctx/fn until reuse — transiently,
+// bounded by the arena (peak concurrent events), and in practice those
+// are pooled pipeline records that outlive the engine anyway. Run()
+// sweeps the arena clean once at drain so nothing outlives the
+// simulation it belongs to.
 func (e *Engine) releaseRecord(id int32) {
 	e.released++
-	e.recs[id] = eventRecord{}
 	e.free = append(e.free, id)
 }
 
@@ -425,6 +464,13 @@ func (e *Engine) Run() {
 			"sim: event pool leak: %d records acquired, %d released", e.acquired, e.released)
 		invariant.Assert(len(e.free) == len(e.recs),
 			"sim: event pool leak: %d free of %d records after drain", len(e.free), len(e.recs))
+	}
+	// Drop callback/context references retained by free records (see
+	// releaseRecord): one arena sweep at drain instead of a typed memclr
+	// per event, so dispatched closures and their captures do not outlive
+	// the run.
+	for i := range e.recs {
+		e.recs[i].call, e.recs[i].ctx, e.recs[i].fn = nil, nil, nil
 	}
 }
 

@@ -347,9 +347,11 @@ func TestPipeMinimumOccupancy(t *testing.T) {
 }
 
 // TestPopReleasesDispatchedEvents is the closure-retention regression:
-// a dispatched event's record must be zeroed when it returns to the free
-// list, so the closure — and everything it captures — becomes
-// collectable instead of lingering in the arena for the rest of the run.
+// after Run() drains, no arena record may still hold a dispatched
+// event's callback, so closures — and everything they capture — become
+// collectable instead of lingering for the life of the engine. (Free
+// records may pin their last callback transiently DURING a run; the
+// drain sweep in Run bounds that retention to the simulation itself.)
 func TestPopReleasesDispatchedEvents(t *testing.T) {
 	e := NewEngine()
 	const n = 16

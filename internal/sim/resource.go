@@ -15,11 +15,23 @@ type Server struct {
 	eng      *Engine
 	capacity int
 	busy     int
-	waiters  []func()
+	// waiters is a head-cursor FIFO: Release pops at head rather than
+	// reslicing, so the backing array is reused instead of reallocated
+	// on every grant cycle. Entries hold the typed-call triple directly;
+	// the func() convenience path rides on CallFunc.
+	waiters []waiter
+	head    int
 
 	// Stats.
 	grants  int64
 	maxWait int
+}
+
+// waiter is one queued acquisition.
+type waiter struct {
+	call EventFunc
+	ctx  any
+	arg  int64
 }
 
 // NewServer returns a server granting at most capacity concurrent holds.
@@ -32,18 +44,23 @@ func NewServer(eng *Engine, capacity int) *Server {
 
 // Acquire requests a hold. fn runs as soon as a slot is available —
 // synchronously if one is free now, otherwise when a holder releases.
-func (s *Server) Acquire(fn func()) {
+func (s *Server) Acquire(fn func()) { s.AcquireCall(CallFunc, fn, 0) }
+
+// AcquireCall is the typed-callback form of Acquire: call(ctx, arg) runs
+// once a slot is available. Passing a pre-existing function with a
+// pointer context performs no allocation, mirroring Engine.AtCall.
+func (s *Server) AcquireCall(call EventFunc, ctx any, arg int64) {
 	if s.busy < s.capacity {
 		s.busy++
 		s.grants++
 		invariant.Assert(s.busy <= s.capacity,
 			"sim: server holds %d grants above capacity %d", s.busy, s.capacity)
-		fn()
+		call(ctx, arg)
 		return
 	}
-	s.waiters = append(s.waiters, fn)
-	if len(s.waiters) > s.maxWait {
-		s.maxWait = len(s.waiters)
+	s.waiters = append(s.waiters, waiter{call, ctx, arg})
+	if n := len(s.waiters) - s.head; n > s.maxWait {
+		s.maxWait = n
 	}
 }
 
@@ -53,11 +70,27 @@ func (s *Server) Release() {
 	if s.busy <= 0 {
 		panic("sim: Release without matching Acquire")
 	}
-	if len(s.waiters) > 0 {
-		next := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	if s.head < len(s.waiters) {
+		w := s.waiters[s.head]
+		s.waiters[s.head] = waiter{}
+		s.head++
+		switch {
+		case s.head == len(s.waiters):
+			s.waiters = s.waiters[:0]
+			s.head = 0
+		case s.head >= 64 && s.head*2 >= len(s.waiters):
+			// Slide the live tail to the front so a never-draining queue
+			// reuses its backing array instead of growing without bound.
+			n := copy(s.waiters, s.waiters[s.head:])
+			vacated := s.waiters[n:]
+			for i := range vacated {
+				vacated[i] = waiter{}
+			}
+			s.waiters = s.waiters[:n]
+			s.head = 0
+		}
 		s.grants++
-		next()
+		w.call(w.ctx, w.arg)
 		return
 	}
 	s.busy--
@@ -79,7 +112,7 @@ func (s *Server) Use(d Time, done func()) {
 func (s *Server) InUse() int { return s.busy }
 
 // Queued reports the number of waiters.
-func (s *Server) Queued() int { return len(s.waiters) }
+func (s *Server) Queued() int { return len(s.waiters) - s.head }
 
 // Grants reports the total number of grants made.
 func (s *Server) Grants() int64 { return s.grants }
@@ -97,6 +130,11 @@ type Pipe struct {
 	bytesPerS int64 // bandwidth in bytes per second
 	latency   Time  // pipelined per-transfer latency
 	freeAt    Time  // virtual time the pipe next becomes free
+
+	// Occupancy memo: page-granular traffic repeats the same transfer
+	// size, so cache the last 128-bit division result.
+	memoN   int64
+	memoOcc Time
 
 	// Stats.
 	bytes     int64
@@ -137,17 +175,27 @@ func (p *Pipe) TransferTime(n int64) Time {
 	if n <= 0 {
 		return 0
 	}
+	if n == p.memoN {
+		return p.memoOcc
+	}
 	t := mulDiv(n, Second, p.bytesPerS)
 	if t < 1 {
 		t = 1
 	}
+	p.memoN, p.memoOcc = n, t
 	return t
 }
 
 // Transfer queues n bytes through the pipe; done runs when the last byte
 // (plus propagation latency) has arrived.
 func (p *Pipe) Transfer(n int64, done func()) {
-	p.transfer(n, p.TransferTime(n), done)
+	p.transfer(n, p.TransferTime(n), CallFunc, done, 0)
+}
+
+// TransferCall is the typed-callback form of Transfer: call(ctx, arg)
+// runs at arrival, with no per-transfer closure.
+func (p *Pipe) TransferCall(n int64, call EventFunc, ctx any, arg int64) {
+	p.transfer(n, p.TransferTime(n), call, ctx, arg)
 }
 
 // TransferLimited is Transfer for a requester that cannot saturate the
@@ -155,6 +203,16 @@ func (p *Pipe) Transfer(n int64, done func()) {
 // maxBps. It models, e.g., a zero-copy transfer driven by too few GPU
 // threads to fill the PCIe link (paper Figure 6).
 func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
+	p.transfer(n, p.limitedTime(n, maxBps), CallFunc, done, 0)
+}
+
+// TransferLimitedCall is the typed-callback form of TransferLimited.
+func (p *Pipe) TransferLimitedCall(n, maxBps int64, call EventFunc, ctx any, arg int64) {
+	p.transfer(n, p.limitedTime(n, maxBps), call, ctx, arg)
+}
+
+// limitedTime is the occupancy for a rate-limited transfer.
+func (p *Pipe) limitedTime(n, maxBps int64) Time {
 	occ := p.TransferTime(n)
 	if maxBps > 0 && maxBps < p.bytesPerS {
 		occ = mulDiv(n, Second, maxBps)
@@ -162,10 +220,10 @@ func (p *Pipe) TransferLimited(n, maxBps int64, done func()) {
 			occ = 1
 		}
 	}
-	p.transfer(n, occ, done)
+	return occ
 }
 
-func (p *Pipe) transfer(n int64, occ Time, done func()) {
+func (p *Pipe) transfer(n int64, occ Time, call EventFunc, ctx any, arg int64) {
 	if occ < 0 {
 		panic(fmt.Sprintf("sim: negative pipe occupancy %d ns for %d bytes", occ, n))
 	}
@@ -182,9 +240,9 @@ func (p *Pipe) transfer(n int64, occ Time, done func()) {
 	p.transfers++
 	p.busy += occ
 	end := p.freeAt + p.latency
-	// Typed path: completion callbacks are on the per-transfer hot path,
-	// and CallFunc forwards done without a wrapping closure.
-	p.eng.AtCall(end, CallFunc, done, 0)
+	// Typed path: completion callbacks are on the per-transfer hot path
+	// and ride AtCall without a wrapping closure.
+	p.eng.AtCall(end, call, ctx, arg)
 }
 
 // Backlog reports how far in the future the pipe is already committed.

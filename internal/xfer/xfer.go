@@ -150,6 +150,66 @@ type Engine struct {
 	zcCount     int64
 	pagesUp     int64
 	pagesDown   int64
+
+	pool []*move // recycled per-move records
+}
+
+// move carries one page transfer through its stages. Moves are pooled on
+// the Engine and every stage is a top-level EventFunc with the move as
+// context, so steady-state transfers perform no allocation.
+type move struct {
+	e    *Engine
+	pipe *sim.Pipe
+	call sim.EventFunc
+	ctx  any
+	arg  int64
+}
+
+// moveEnter runs when the copy engine is granted (DMA path): the launch
+// serializes on the engine; data then streams on the link.
+func moveEnter(ctx any, _ int64) {
+	m := ctx.(*move)
+	m.e.eng.AfterCall(m.e.cfg.DMALaunch, moveLaunched, m, 0)
+}
+
+// moveLaunched runs after the DMA launch overhead.
+func moveLaunched(ctx any, _ int64) {
+	m := ctx.(*move)
+	m.e.dma.Release()
+	m.pipe.TransferCall(m.e.cfg.PageSize, moveFinish, m, 0)
+}
+
+// movePinned runs after the zero-copy pin share; arg carries the
+// thread-limited byte rate.
+func movePinned(ctx any, rate int64) {
+	m := ctx.(*move)
+	m.pipe.TransferLimitedCall(m.e.cfg.PageSize, rate, moveFinish, m, 0)
+}
+
+// moveFinish recycles the move and runs the completion callback.
+func moveFinish(ctx any, _ int64) {
+	m := ctx.(*move)
+	e := m.e
+	e.outstanding--
+	call, cctx, carg := m.call, m.ctx, m.arg
+	m.call, m.ctx, m.pipe = nil, nil, nil
+	e.pool = append(e.pool, m)
+	if call != nil {
+		call(cctx, carg)
+	}
+}
+
+// newMove pops a pooled move or allocates one; pool misses are amortized
+// away by reuse.
+//
+//gmt:coldpath
+func (e *Engine) newMove() *move {
+	if n := len(e.pool); n > 0 {
+		m := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return m
+	}
+	return &move{e: e}
 }
 
 // NewEngine returns a transfer engine over link.
@@ -169,34 +229,28 @@ func (e *Engine) Outstanding() int { return e.outstanding }
 // devote. The method is chosen per the configured mode, using the current
 // outstanding-transfer count as the effective batch size.
 func (e *Engine) MovePage(up bool, threads int, done func()) {
+	e.MovePageCall(up, threads, sim.CallFunc, done, 0)
+}
+
+// MovePageCall is the typed-callback form of MovePage: call(ctx, arg)
+// runs when the page lands, with no per-move closure.
+func (e *Engine) MovePageCall(up bool, threads int, call sim.EventFunc, ctx any, arg int64) {
 	e.outstanding++
 	batch := e.outstanding
-	m := e.cfg.Choose(batch, threads)
-	pipe := e.link.Down
+	method := e.cfg.Choose(batch, threads)
+	mv := e.newMove()
+	mv.pipe = e.link.Down
 	if up {
-		pipe = e.link.Up
+		mv.pipe = e.link.Up
 		e.pagesUp++
 	} else {
 		e.pagesDown++
 	}
-	finish := func() {
-		e.outstanding--
-		if done != nil {
-			done()
-		}
-	}
-	switch m {
+	mv.call, mv.ctx, mv.arg = call, ctx, arg
+	switch method {
 	case DMA:
 		e.dmaCount++
-		// The launch serializes on the copy engine; data then streams
-		// on the link.
-		e.dma.Acquire(func() {
-			//lint:ignore hotclosure per-move chain capturing the pipe and finish; copy time dominates
-			e.eng.After(e.cfg.DMALaunch, func() {
-				e.dma.Release()
-				pipe.Transfer(e.cfg.PageSize, finish)
-			})
-		})
+		e.dma.AcquireCall(moveEnter, mv, 0)
 	case ZeroCopy:
 		e.zcCount++
 		// Pinning is amortized across the batch driving the link; each
@@ -204,10 +258,7 @@ func (e *Engine) MovePage(up bool, threads int, done func()) {
 		// page, at reduced rate if under-provisioned.
 		share := e.cfg.PinOverhead / sim.Time(batch)
 		rate := e.link.BytesPerSecond() * int64(threads) / int64(e.cfg.WarpThreads)
-		//lint:ignore hotclosure per-move chain capturing the pipe and rate; transfer time dominates
-		e.eng.After(share, func() {
-			pipe.TransferLimited(e.cfg.PageSize, rate, finish)
-		})
+		e.eng.AfterCall(share, movePinned, mv, rate)
 	}
 }
 
