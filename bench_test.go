@@ -166,6 +166,88 @@ func BenchmarkForkedRun(b *testing.B) {
 	}
 }
 
+// warmMissTorture builds a runtime whose footprint (512 pages) is 2.7x
+// the combined tier capacity (64 + 128), so a cyclic scan misses on
+// every access forever: each miss evicts from Tier-1 into Tier-2, whose
+// own eviction spills to the SSD. One full warm lap grows every arena —
+// page directory, fetch/placement pools, waiter nodes, NVMe requests,
+// transfer moves, event records — to steady capacity.
+func warmMissTorture(eng *sim.Engine, policy core.PolicyKind) (*core.Runtime, func()) {
+	cfg := core.DefaultConfig()
+	cfg.Policy = policy
+	cfg.Tier1Pages = 64
+	cfg.Tier2Pages = 128
+	cfg.FootprintPages = 512
+	rt := core.NewRuntime(eng, cfg)
+	done := func() {}
+	for p := 0; p < 512; p++ {
+		rt.Access(gpu.Access{Page: tier.PageID(p), Write: p%3 == 0}, done)
+	}
+	eng.Run()
+	return rt, done
+}
+
+// BenchmarkMissPath measures the full miss pipeline in steady state —
+// Runtime.Access through Tier-1 eviction, Tier-2 (or SSD) fetch, device
+// completion, transfer, and the warp wakeup callback — with every
+// access a guaranteed miss. ns/op is the end-to-end simulated-miss cost;
+// the hard gate is 0 allocs/op: the typed-callback records, pooled
+// waiter nodes, and event arena must fully absorb the per-miss churn.
+func BenchmarkMissPath(b *testing.B) {
+	eng := sim.NewEngine()
+	rt, done := warmMissTorture(eng, core.PolicyReuse)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Access(gpu.Access{Page: tier.PageID(i % 512)}, done)
+		eng.Run()
+	}
+}
+
+// BenchmarkEvictStorm measures the worst-case eviction cascade: every
+// access is a write miss, so each one dirties a page that a later miss
+// must evict dirty from Tier-1 into Tier-2, spilling a dirty Tier-2
+// victim into an SSD write-back. One iteration pushes a 256-access storm
+// and drains it. Gate: 0 allocs/op — the write-back chain (tier moves,
+// NVMe writes, completion records) runs entirely on pooled objects.
+func BenchmarkEvictStorm(b *testing.B) {
+	eng := sim.NewEngine()
+	rt, done := warmMissTorture(eng, core.PolicyTierOrder)
+	const storm = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < storm; j++ {
+			rt.Access(gpu.Access{Page: tier.PageID((i*storm + j) % 512), Write: true}, done)
+		}
+		eng.Run()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*storm), "ns/miss")
+}
+
+// TestMissPathAllocGate is the static gate behind BenchmarkMissPath and
+// BenchmarkEvictStorm: once warm, neither a clean miss (fetch + evict)
+// nor a dirty write miss (fetch + dirty eviction + write-back) may
+// allocate — covering both GMT policies' miss pipelines end to end.
+func TestMissPathAllocGate(t *testing.T) {
+	if raceflag.Enabled || invariant.Enabled {
+		t.Skip("allocation gates run on the default build only")
+	}
+	for _, p := range []core.PolicyKind{core.PolicyReuse, core.PolicyTierOrder} {
+		eng := sim.NewEngine()
+		rt, done := warmMissTorture(eng, p)
+		i := 0
+		n := testing.AllocsPerRun(500, func() {
+			rt.Access(gpu.Access{Page: tier.PageID(i % 512), Write: i%2 == 0}, done)
+			eng.Run()
+			i++
+		})
+		if n != 0 {
+			t.Errorf("%v: steady-state miss path = %.1f allocs/op, want 0", p, n)
+		}
+	}
+}
+
 // TestPerAccessAllocGate is the CI gate for the tentpole's acceptance
 // bar: the steady-state per-access path — from Runtime.Access through
 // tier bookkeeping to the warp's completion callback — performs zero

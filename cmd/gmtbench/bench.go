@@ -3,11 +3,13 @@ package main
 // In-process microbenchmarks and the benchmark regression gate. The
 // microbenchmarks mirror the repo's headline `go test -bench` set
 // (BenchmarkSingleRun, BenchmarkPerAccessHit, BenchmarkAccessBatch,
-// BenchmarkForkedRun) so a committed BENCH_suite.json records the perf
-// trajectory the CI gate compares against without needing the test
-// binary. The hit-path benches additionally carry a hard 0 allocs/op
-// gate (zeroAllocMicro): -microbench itself fails when the steady-state
-// per-access path — scalar, batched, or on a forked child — allocates.
+// BenchmarkForkedRun, BenchmarkMissPath, BenchmarkEvictStorm) so a
+// committed BENCH_suite.json records the perf trajectory the CI gate
+// compares against without needing the test binary. The hit- and
+// miss-path benches additionally carry a hard 0 allocs/op gate
+// (zeroAllocMicro): -microbench itself fails when the steady-state
+// per-access path — scalar, batched, forked, missing, or evicting —
+// allocates.
 
 import (
 	"encoding/json"
@@ -41,6 +43,28 @@ var zeroAllocMicro = map[string]bool{
 	"PerAccessHit": true,
 	"AccessBatch":  true,
 	"ForkedRun":    true,
+	"MissPath":     true,
+	"EvictStorm":   true,
+}
+
+// warmMissMicro builds the miss-path steady state: a 512-page footprint
+// over 64 Tier-1 + 128 Tier-2 pages, so a cyclic scan misses on every
+// access and each miss cascades an eviction. One warm lap grows every
+// pool to capacity; after it the whole miss pipeline must run
+// allocation-free (mirrors bench_test.go's warmMissTorture).
+func warmMissMicro(eng *sim.Engine, policy core.PolicyKind) (*core.Runtime, func()) {
+	cfg := core.DefaultConfig()
+	cfg.Policy = policy
+	cfg.Tier1Pages = 64
+	cfg.Tier2Pages = 128
+	cfg.FootprintPages = 512
+	rt := core.NewRuntime(eng, cfg)
+	done := func() {}
+	for p := 0; p < 512; p++ {
+		rt.Access(gpu.Access{Page: tier.PageID(p), Write: p%3 == 0}, done)
+	}
+	eng.Run()
+	return rt, done
 }
 
 // warmResidentMicro builds the steady state the hit benches replay: a
@@ -127,6 +151,33 @@ func runMicrobench() []benchMicro {
 			done += n
 		}
 	})
+	// Steady-state miss pipeline: every access misses, fetches from
+	// Tier-2 or the SSD, and evicts. The gate is 0 allocs/op.
+	missPath := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		rt, done := warmMissMicro(eng, core.PolicyReuse)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Access(gpu.Access{Page: tier.PageID(i % 512)}, done)
+			eng.Run()
+		}
+	})
+	// Worst-case dirty eviction cascade: a 256-access write-miss storm
+	// per op, each miss spilling dirty victims down the tiers.
+	evictStorm := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		rt, done := warmMissMicro(eng, core.PolicyTierOrder)
+		const storm = 256
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < storm; j++ {
+				rt.Access(gpu.Access{Page: tier.PageID((i*storm + j) % 512), Write: true}, done)
+			}
+			eng.Run()
+		}
+	})
 	toMicro := func(name string, r testing.BenchmarkResult) benchMicro {
 		return benchMicro{
 			Name:        name,
@@ -140,6 +191,8 @@ func runMicrobench() []benchMicro {
 		toMicro("PerAccessHit", hit),
 		toMicro("AccessBatch", accessBatch),
 		toMicro("ForkedRun", forkedRun),
+		toMicro("MissPath", missPath),
+		toMicro("EvictStorm", evictStorm),
 	}
 }
 
@@ -150,7 +203,7 @@ func microGate(micro []benchMicro) []error {
 	for _, m := range micro {
 		if zeroAllocMicro[m.Name] && m.AllocsPerOp != 0 {
 			errs = append(errs, fmt.Errorf(
-				"%s: steady-state hit path allocated: %d allocs/op (%d B/op), want 0",
+				"%s: steady-state access path allocated: %d allocs/op (%d B/op), want 0",
 				m.Name, m.AllocsPerOp, m.BytesPerOp))
 		}
 	}

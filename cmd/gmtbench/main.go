@@ -36,9 +36,10 @@
 //	             allocation deltas, prewarm job/hit counts, estimated
 //	             speedup vs sequential) to P
 //	-microbench  also run the in-process microbenchmarks (SingleRun,
-//	             PerAccessHit, AccessBatch, ForkedRun) and attach them
-//	             to the report under "microbench"; exits 1 when a
-//	             hit-path bench breaks its 0 allocs/op gate
+//	             PerAccessHit, AccessBatch, ForkedRun, MissPath,
+//	             EvictStorm) and attach them to the report under
+//	             "microbench"; exits 1 when a hit- or miss-path bench
+//	             breaks its 0 allocs/op gate
 //	-comparebench P  compare this run's report against a committed
 //	             gmt-bench-suite/v1 baseline at P and exit 1 on
 //	             regression (wall clock beyond 1.25x + 100ms slack,
@@ -91,26 +92,36 @@ type benchReport struct {
 }
 
 type benchPrewarm struct {
-	Workers   int          `json:"workers"`
-	Jobs      int          `json:"jobs"`
-	Sims      int64        `json:"simulations"`
-	CacheHits int64        `json:"cache_hits"`
-	BusyMS    float64      `json:"busy_ms"`
-	WallMS    float64      `json:"wall_ms"`
-	Phases    []benchPhase `json:"phases"`
+	Workers   int     `json:"workers"`
+	Jobs      int     `json:"jobs"`
+	Sims      int64   `json:"simulations"`
+	CacheHits int64   `json:"cache_hits"`
+	BusyMS    float64 `json:"busy_ms"`
+	WallMS    float64 `json:"wall_ms"`
+	// WorkerBusyMS is each pool worker's summed job time (len ==
+	// workers): a skewed profile exposes a long-tail job pinning one
+	// worker while the rest drained the queue and idled.
+	WorkerBusyMS []float64    `json:"worker_busy_ms"`
+	Phases       []benchPhase `json:"phases"`
 	benchMem
 }
 
-// benchMem is the allocation accounting attached to each phase of the
-// v1 report: bytes and objects allocated during the phase (deltas of
-// runtime.MemStats.TotalAlloc/Mallocs) and live heap at its end.
+// benchMem is the allocation and GC accounting attached to each phase
+// of the v1 report: bytes and objects allocated during the phase
+// (deltas of runtime.MemStats.TotalAlloc/Mallocs), live heap at its
+// end, and the GC work the phase induced (deltas of PauseTotalNs and
+// NumGC). gc_pauses_ns is the collector-pressure twin of mallocs: an
+// allocation-heavy phase shows up in both, and the zero-alloc pipeline
+// work is visible as both numbers collapsing together.
 type benchMem struct {
 	AllocBytes   uint64 `json:"alloc_bytes"`
 	Mallocs      uint64 `json:"mallocs"`
 	HeapAllocEnd uint64 `json:"heap_alloc_end_bytes"`
+	GCPausesNS   uint64 `json:"gc_pauses_ns"`
+	NumGC        uint32 `json:"num_gc"`
 }
 
-// measureMem runs fn and reports its allocation delta and ending heap.
+// measureMem runs fn and reports its allocation, heap, and GC deltas.
 func measureMem(fn func()) benchMem {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -120,6 +131,8 @@ func measureMem(fn func()) benchMem {
 		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 		Mallocs:      after.Mallocs - before.Mallocs,
 		HeapAllocEnd: after.HeapAlloc,
+		GCPausesNS:   after.PauseTotalNs - before.PauseTotalNs,
+		NumGC:        after.NumGC - before.NumGC,
 	}
 }
 
@@ -178,7 +191,7 @@ func main() {
 	benchjson := flag.String("benchjson", "",
 		"write a gmt-bench-suite/v1 JSON report to this path")
 	microbench := flag.Bool("microbench", false,
-		"also run the in-process microbenchmarks (SingleRun, PerAccessHit, AccessBatch, ForkedRun) and attach them to the report")
+		"also run the in-process microbenchmarks (SingleRun, PerAccessHit, AccessBatch, ForkedRun, MissPath, EvictStorm) and attach them to the report")
 	comparebench := flag.String("comparebench", "",
 		"compare this run against a committed gmt-bench-suite/v1 baseline and exit 1 on regression")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -381,6 +394,9 @@ func main() {
 				BusyMS:    float64(prewarm.BusyNS) / 1e6,
 				WallMS:    float64(prewarm.WallNS) / 1e6,
 				benchMem:  prewarmMem,
+			}
+			for _, ns := range prewarm.WorkerBusyNS {
+				bp.WorkerBusyMS = append(bp.WorkerBusyMS, float64(ns)/1e6)
 			}
 			for _, ph := range prewarm.Phases {
 				bp.Phases = append(bp.Phases, benchPhase{

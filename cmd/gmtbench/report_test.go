@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"testing"
 )
 
@@ -59,6 +61,34 @@ func TestFinalizeReportNoPrewarm(t *testing.T) {
 	}
 	if !approx(rep.SpeedupVsSeq, 1) {
 		t.Fatalf("speedup_vs_sequential = %v, want 1.0 without a prewarm pool", rep.SpeedupVsSeq)
+	}
+}
+
+// TestCommittedBaselineSpeedupConsistent re-derives the committed
+// BENCH_suite.json's speedup_vs_sequential from its own measured parts
+// and requires it to match the current formula. This is the regression
+// gate for the stale-formula bug: a v1 baseline recorded with the old
+// est_sequential_ms / total_wall_ms divisor (which counted microbench
+// and encoding overhead, deflating the pool speedup below 1) fails here
+// until re-recorded.
+func TestCommittedBaselineSpeedupConsistent(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_suite.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("BENCH_suite.json: %v", err)
+	}
+	rederived := committed
+	finalizeReport(&rederived)
+	if !approx(rederived.EstSequentialMS, committed.EstSequentialMS) {
+		t.Errorf("committed est_sequential_ms = %v, formula gives %v — baseline recorded by a stale binary; re-record it",
+			committed.EstSequentialMS, rederived.EstSequentialMS)
+	}
+	if !approx(rederived.SpeedupVsSeq, committed.SpeedupVsSeq) {
+		t.Errorf("committed speedup_vs_sequential = %v, formula gives %v — baseline recorded by a stale binary; re-record it",
+			committed.SpeedupVsSeq, rederived.SpeedupVsSeq)
 	}
 }
 

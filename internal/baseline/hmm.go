@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/gmtsim/gmt/internal/gpu"
@@ -30,6 +31,10 @@ type HMMConfig struct {
 	Tier1Pages     int
 	PageCachePages int // host page cache capacity (the Tier-2 analogue)
 	PageSize       int64
+
+	// FootprintPages, when positive, presizes the page directory for the
+	// workload footprint so steady-state faults never grow it.
+	FootprintPages int
 
 	// FaultHandlers is the host-side fault service parallelism; the UVM
 	// driver processes a GPU's fault buffer nearly serially.
@@ -86,7 +91,77 @@ type hmmPage struct {
 	pendingDirty bool
 	cached       bool // resident in the host page cache (inclusive)
 	cacheDirty   bool
-	waiters      []func()
+	// waiters are the warp completions parked on an in-flight fill. The
+	// callbacks themselves are the GPU's per-warp done values (allocated
+	// once at Launch); the backing arrays cycle through waiterPool so a
+	// fault-heavy run stops allocating them once the peak is reached.
+	waiters []func()
+}
+
+// hmmPageDir is the dense page-metadata table: a PageID-indexed slice of
+// *hmmPage backed by a chunked arena (pointer stability — fault records
+// hold *hmmPage across simulated events). It replaces the former map so
+// steady-state lookups neither hash nor allocate.
+type hmmPageDir struct {
+	dir    []*hmmPage
+	chunks [][]hmmPage
+	cursor int // fill position in the newest chunk
+}
+
+// hmmPageChunkSize is the arena growth quantum (structs per chunk).
+const hmmPageChunkSize = 1024
+
+// reserve presizes the index for an n-page footprint.
+func (d *hmmPageDir) reserve(n int) {
+	if n > len(d.dir) {
+		nv := make([]*hmmPage, n)
+		copy(nv, d.dir)
+		d.dir = nv
+	}
+}
+
+// lookup returns p's state, creating it (on the SSD, clean) on first
+// reference.
+//
+//gmt:hotpath
+func (d *hmmPageDir) lookup(p tier.PageID) *hmmPage {
+	if uint64(p) < uint64(len(d.dir)) {
+		if ps := d.dir[p]; ps != nil {
+			return ps
+		}
+	}
+	return d.lookupSlow(p)
+}
+
+// lookupSlow handles first references and index growth, both amortized
+// off the fault steady state.
+//
+//gmt:coldpath
+func (d *hmmPageDir) lookupSlow(p tier.PageID) *hmmPage {
+	if p < 0 {
+		panic(fmt.Sprintf("baseline: negative page id %d", p))
+	}
+	if int64(p) >= int64(len(d.dir)) {
+		size := len(d.dir)
+		if size < 64 {
+			size = 64
+		}
+		for int64(size) <= int64(p) {
+			size *= 2
+		}
+		d.reserve(size)
+	}
+	if ps := d.dir[p]; ps != nil {
+		return ps
+	}
+	if len(d.chunks) == 0 || d.cursor == hmmPageChunkSize {
+		d.chunks = append(d.chunks, make([]hmmPage, hmmPageChunkSize))
+		d.cursor = 0
+	}
+	ps := &d.chunks[len(d.chunks)-1][d.cursor]
+	d.cursor++
+	d.dir[p] = ps
+	return ps
 }
 
 // HMM is the CPU-orchestrated 3-tier memory manager.
@@ -101,9 +176,16 @@ type HMM struct {
 	t1    *tier.Clock
 	cache *tier.Clock // host page cache, LRU-approximated by clock
 
-	pages    map[tier.PageID]*hmmPage
+	pages    hmmPageDir
 	reserved int
 	rng      *rand.Rand
+
+	// Free-listed fault/serve records and recycled waiter arrays: the
+	// whole fault pipeline reuses them, so a miss-heavy run schedules no
+	// per-fault heap objects once the in-flight peak is reached.
+	faultPool  []*hmmFault
+	servePool  []*hmmServe
+	waiterPool [][]func()
 
 	m stats.Run
 }
@@ -124,8 +206,10 @@ func NewHMM(eng *sim.Engine, cfg HMMConfig) *HMM {
 		dma:      sim.NewServer(eng, 1),
 		t1:       tier.NewClock(cfg.Tier1Pages),
 		cache:    tier.NewClock(cfg.PageCachePages),
-		pages:    make(map[tier.PageID]*hmmPage),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.FootprintPages > 0 {
+		h.pages.reserve(cfg.FootprintPages)
 	}
 	h.m.Policy = "HMM"
 	if cfg.ForcedHitRate >= 0 {
@@ -137,16 +221,86 @@ func NewHMM(eng *sim.Engine, cfg HMMConfig) *HMM {
 // SSD exposes the simulated drive.
 func (h *HMM) SSD() *nvme.Disk { return h.ssd }
 
+//gmt:hotpath
 func (h *HMM) page(p tier.PageID) *hmmPage {
-	ps, ok := h.pages[p]
-	if !ok {
-		ps = &hmmPage{loc: hmmSSD}
-		h.pages[p] = ps
+	return h.pages.lookup(p)
+}
+
+// hmmFault carries one fault service through the handler pipeline:
+// handler slot → fault overhead → block selection → one hmmServe per
+// member → handler release when the last member lands. Records are
+// pooled on the HMM and every stage is a top-level EventFunc with the
+// fault as context.
+type hmmFault struct {
+	h         *HMM
+	page      tier.PageID
+	remaining int
+	members   []tier.PageID // capacity reused across services
+}
+
+// hmmServe carries one member page's migration: page-cache probe → SSD
+// read (on a cache miss) → DMA program → link transfer → install.
+type hmmServe struct {
+	h     *HMM
+	fault *hmmFault
+	page  tier.PageID
+	ps    *hmmPage
+}
+
+// Pool-miss growth quanta: a miss carves a whole chunk so the pools grow
+// in O(peak/chunk) allocations.
+const (
+	hmmFaultChunkSize = 16
+	hmmServeChunkSize = 32
+)
+
+//gmt:hotpath
+func (h *HMM) newFault() *hmmFault {
+	if n := len(h.faultPool); n > 0 {
+		fr := h.faultPool[n-1]
+		h.faultPool = h.faultPool[:n-1]
+		return fr
 	}
-	return ps
+	return h.newFaultChunk()
+}
+
+//gmt:coldpath
+func (h *HMM) newFaultChunk() *hmmFault {
+	chunk := make([]hmmFault, hmmFaultChunkSize)
+	for i := range chunk {
+		chunk[i].h = h
+		if i > 0 {
+			h.faultPool = append(h.faultPool, &chunk[i])
+		}
+	}
+	return &chunk[0]
+}
+
+//gmt:hotpath
+func (h *HMM) newServe() *hmmServe {
+	if n := len(h.servePool); n > 0 {
+		sv := h.servePool[n-1]
+		h.servePool = h.servePool[:n-1]
+		return sv
+	}
+	return h.newServeChunk()
+}
+
+//gmt:coldpath
+func (h *HMM) newServeChunk() *hmmServe {
+	chunk := make([]hmmServe, hmmServeChunkSize)
+	for i := range chunk {
+		chunk[i].h = h
+		if i > 0 {
+			h.servePool = append(h.servePool, &chunk[i])
+		}
+	}
+	return &chunk[0]
 }
 
 // Access implements gpu.MemoryManager.
+//
+//gmt:hotpath
 func (h *HMM) Access(a gpu.Access, done func()) {
 	h.m.Accesses++
 	ps := h.page(a.Page)
@@ -163,15 +317,29 @@ func (h *HMM) Access(a gpu.Access, done func()) {
 		if a.Write {
 			ps.pendingDirty = true
 		}
-		ps.waiters = append(ps.waiters, done)
+		h.queueWaiter(ps, done)
 	case hmmSSD:
 		ps.loc = hmmInFlight
 		if a.Write {
 			ps.pendingDirty = true
 		}
-		ps.waiters = append(ps.waiters, done)
-		h.fault(a.Page, ps)
+		h.queueWaiter(ps, done)
+		h.fault(a.Page)
 	}
+}
+
+// queueWaiter parks done on ps, reusing a pooled backing array for the
+// first waiter of a fill cycle.
+//
+//gmt:hotpath
+func (h *HMM) queueWaiter(ps *hmmPage, done func()) {
+	if ps.waiters == nil {
+		if n := len(h.waiterPool); n > 0 {
+			ps.waiters = h.waiterPool[n-1]
+			h.waiterPool = h.waiterPool[:n-1]
+		}
+	}
+	ps.waiters = append(ps.waiters, done)
 }
 
 // fault is the host-side service path. The handler is held from fault
@@ -180,74 +348,89 @@ func (h *HMM) Access(a gpu.Access, done func()) {
 // PrefetchBlock set, the whole aligned block migrates in one service
 // (UVM's density prefetcher): one fault overhead amortized across
 // members, but the handler is held until the full block lands.
-func (h *HMM) fault(p tier.PageID, ps *hmmPage) {
-	h.handlers.Acquire(func() {
-		h.eng.After(h.cfg.FaultOverhead, func() {
-			members := h.blockMembers(p)
-			remaining := len(members)
-			memberDone := func() {
-				remaining--
-				if remaining == 0 {
-					h.handlers.Release()
-				}
-			}
-			for i, q := range members {
-				h.servePage(q, h.page(q), i == 0, memberDone)
-			}
-		})
-	})
+//
+//gmt:hotpath
+func (h *HMM) fault(p tier.PageID) {
+	fr := h.newFault()
+	fr.page = p
+	h.handlers.AcquireCall(hmmFaultGranted, fr, 0)
 }
 
-// blockMembers selects the demanded page plus SSD-resident neighbors of
-// its aligned block that fit in free Tier-1 capacity.
-func (h *HMM) blockMembers(p tier.PageID) []tier.PageID {
-	members := []tier.PageID{p}
+// hmmFaultGranted runs when a host fault handler is granted.
+//
+//gmt:hotpath
+func hmmFaultGranted(ctx any, _ int64) {
+	fr := ctx.(*hmmFault)
+	fr.h.eng.AfterCall(fr.h.cfg.FaultOverhead, hmmFaultHeld, fr, 0)
+}
+
+// hmmFaultHeld runs after the fault overhead: select the block and start
+// every member's migration.
+//
+//gmt:hotpath
+func hmmFaultHeld(ctx any, _ int64) {
+	fr := ctx.(*hmmFault)
+	h := fr.h
+	h.blockMembers(fr)
+	fr.remaining = len(fr.members)
+	for i, q := range fr.members {
+		h.servePage(q, h.page(q), i == 0, fr)
+	}
+}
+
+// blockMembers fills fr.members with the demanded page plus SSD-resident
+// neighbors of its aligned block that fit in free Tier-1 capacity.
+//
+//gmt:hotpath
+func (h *HMM) blockMembers(fr *hmmFault) {
+	fr.members = append(fr.members[:0], fr.page)
 	if h.cfg.PrefetchBlock <= 1 {
-		return members
+		return
 	}
 	b := tier.PageID(h.cfg.PrefetchBlock)
-	base := p - p%b
+	base := fr.page - fr.page%b
 	for q := base; q < base+b; q++ {
-		if q == p {
+		if q == fr.page {
 			continue
 		}
 		qs := h.page(q)
 		if qs.loc != hmmSSD {
 			continue
 		}
-		if h.t1.Len()+h.reserved+len(members) >= h.t1.Capacity() {
+		if h.t1.Len()+h.reserved+len(fr.members) >= h.t1.Capacity() {
 			break // never evict for speculation
 		}
 		qs.loc = hmmInFlight
-		members = append(members, q)
+		fr.members = append(fr.members, q)
 		h.m.Prefetches++
 	}
-	return members
 }
 
 // servePage migrates one page to the GPU: from the host page cache if
 // present, else through the drive. Only demanded pages enter the
 // hit/fill access breakdown; speculative block members are tallied as
 // prefetches.
-func (h *HMM) servePage(p tier.PageID, ps *hmmPage, demand bool, done func()) {
+//
+//gmt:hotpath
+func (h *HMM) servePage(p tier.PageID, ps *hmmPage, demand bool, fr *hmmFault) {
 	h.makeRoom()
 	h.reserved++
+	sv := h.newServe()
+	sv.fault, sv.page, sv.ps = fr, p, ps
 	if h.cacheHit(ps) {
 		if demand {
 			h.m.Tier2Hits++
 		}
-		h.copyToGPU(p, ps, done)
+		h.copyToGPU(sv)
 		return
 	}
 	if demand {
 		h.m.SSDFills++
 	}
-	h.ssd.Read(int64(p), h.cfg.PageSize, func(nvme.Completion) {
-		h.insertCache(p, ps)
-		h.copyToGPU(p, ps, done)
-	})
+	h.ssd.ReadCall(int64(p), h.cfg.PageSize, hmmReadDone, sv, 0)
 }
 
+//gmt:hotpath
 func (h *HMM) cacheHit(ps *hmmPage) bool {
 	if h.cfg.ForcedHitRate >= 0 {
 		return h.rng.Float64() < h.cfg.ForcedHitRate
@@ -255,8 +438,19 @@ func (h *HMM) cacheHit(ps *hmmPage) bool {
 	return ps.cached
 }
 
+// hmmReadDone runs when the drive posts the fill's completion.
+//
+//gmt:hotpath
+func hmmReadDone(ctx any, _ int64) {
+	sv := ctx.(*hmmServe)
+	sv.h.insertCache(sv.page, sv.ps)
+	sv.h.copyToGPU(sv)
+}
+
 // insertCache records the page in the (inclusive) host page cache,
 // evicting under clock if full.
+//
+//gmt:hotpath
 func (h *HMM) insertCache(p tier.PageID, ps *hmmPage) {
 	if ps.cached {
 		h.cache.Touch(p)
@@ -265,7 +459,7 @@ func (h *HMM) insertCache(p tier.PageID, ps *hmmPage) {
 	if h.cache.Full() {
 		v := h.cache.Victim()
 		h.cache.Remove(v)
-		vps := h.pages[v]
+		vps := h.page(v)
 		vps.cached = false
 		h.m.Tier2Evictions++
 		if vps.cacheDirty {
@@ -278,19 +472,55 @@ func (h *HMM) insertCache(p tier.PageID, ps *hmmPage) {
 }
 
 // copyToGPU programs the host DMA engine and streams the page down.
-func (h *HMM) copyToGPU(p tier.PageID, ps *hmmPage, done func()) {
-	h.dma.Acquire(func() {
-		h.eng.After(h.cfg.DMALaunch, func() {
-			h.dma.Release()
-			h.link.Down.Transfer(h.cfg.PageSize, func() {
-				h.m.PagesToGPU++
-				h.install(p, ps)
-				done()
-			})
-		})
-	})
+//
+//gmt:hotpath
+func (h *HMM) copyToGPU(sv *hmmServe) {
+	h.dma.AcquireCall(hmmDMAGranted, sv, 0)
 }
 
+// hmmDMAGranted runs when the (single) host DMA engine is granted.
+//
+//gmt:hotpath
+func hmmDMAGranted(ctx any, _ int64) {
+	sv := ctx.(*hmmServe)
+	sv.h.eng.AfterCall(sv.h.cfg.DMALaunch, hmmDMAProgrammed, sv, 0)
+}
+
+// hmmDMAProgrammed runs when the copy has been programmed: release the
+// engine for the next programmer and stream the page down the link.
+//
+//gmt:hotpath
+func hmmDMAProgrammed(ctx any, _ int64) {
+	sv := ctx.(*hmmServe)
+	h := sv.h
+	h.dma.Release()
+	h.link.Down.TransferCall(h.cfg.PageSize, hmmPageArrived, sv, 0)
+}
+
+// hmmPageArrived runs when the page lands in GPU memory: install it,
+// wake the waiters, and release the fault handler once the last block
+// member is mapped. The serve record is recycled before install (its
+// payload is saved first), so a re-fault triggered downstream may reuse
+// it.
+//
+//gmt:hotpath
+func hmmPageArrived(ctx any, _ int64) {
+	sv := ctx.(*hmmServe)
+	h := sv.h
+	h.m.PagesToGPU++
+	p, ps, fr := sv.page, sv.ps, sv.fault
+	sv.fault, sv.ps = nil, nil
+	h.servePool = append(h.servePool, sv)
+	h.install(p, ps)
+	fr.remaining--
+	if fr.remaining == 0 {
+		h.handlers.Release()
+		fr.members = fr.members[:0]
+		h.faultPool = append(h.faultPool, fr)
+	}
+}
+
+//gmt:hotpath
 func (h *HMM) install(p tier.PageID, ps *hmmPage) {
 	h.reserved--
 	h.t1.Insert(p)
@@ -299,14 +529,20 @@ func (h *HMM) install(p tier.PageID, ps *hmmPage) {
 	ps.pendingDirty = false
 	waiters := ps.waiters
 	ps.waiters = nil
-	for _, w := range waiters {
+	for i, w := range waiters {
+		waiters[i] = nil
 		w()
+	}
+	if waiters != nil {
+		h.waiterPool = append(h.waiterPool, waiters[:0])
 	}
 }
 
 // makeRoom evicts a Tier-1 victim if needed. Victims migrate back to the
 // host: dirty data crosses the link and dirties the page cache copy;
 // clean pages are simply unmapped (their cache or SSD copy is current).
+//
+//gmt:hotpath
 func (h *HMM) makeRoom() {
 	if h.t1.Len()+h.reserved < h.t1.Capacity() {
 		return
@@ -316,7 +552,7 @@ func (h *HMM) makeRoom() {
 	}
 	v := h.t1.Victim()
 	h.t1.Remove(v)
-	vps := h.pages[v]
+	vps := h.page(v)
 	vps.loc = hmmSSD
 	if vps.dirty {
 		vps.dirty = false
@@ -346,7 +582,11 @@ func (h *HMM) Snapshot() stats.Run {
 // CheckInvariants panics on inconsistent residency accounting.
 func (h *HMM) CheckInvariants() {
 	t1n, cached, inflight := 0, 0, 0
-	for p, ps := range h.pages {
+	for i, ps := range h.pages.dir {
+		if ps == nil {
+			continue
+		}
+		p := tier.PageID(i)
 		if ps.loc == hmmTier1 {
 			t1n++
 			if !h.t1.Contains(p) {

@@ -99,9 +99,9 @@ func samePrefixClass(a, b Config) bool {
 // It panics when any precondition fails rather than risk a silent
 // divergence.
 func (rt *Runtime) Fork(eng *sim.Engine, cfg Config) *Runtime {
-	if rt.reserved != 0 || len(rt.slotWaiters) != 0 || rt.mover.Outstanding() != 0 {
+	if rt.reserved != 0 || rt.slotQueued() != 0 || rt.mover.Outstanding() != 0 {
 		panic(fmt.Sprintf("core: Fork with %d reserved slots, %d slot waiters, %d moves in flight",
-			rt.reserved, len(rt.slotWaiters), rt.mover.Outstanding()))
+			rt.reserved, rt.slotQueued(), rt.mover.Outstanding()))
 	}
 	if rt.t2 != nil && rt.t2.Len() != 0 {
 		panic(fmt.Sprintf("core: Fork with %d Tier-2 residents (prefix was not eviction-free)", rt.t2.Len()))

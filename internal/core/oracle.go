@@ -1,6 +1,9 @@
 package core
 
-import "github.com/gmtsim/gmt/internal/tier"
+import (
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/tier"
+)
 
 // PolicyOracle: offline Belady-style management with perfect future
 // knowledge, the upper bound GMT-Reuse approximates (§2.1.3: "one
@@ -18,7 +21,12 @@ import "github.com/gmtsim/gmt/internal/tier"
 // stay deterministic regardless of store iteration order.
 
 // oracleEvict selects and places a Tier-1 victim with future knowledge.
-func (rt *Runtime) oracleEvict(ready func()) {
+// Oracle runs scan residents with a closure per eviction; they are an
+// offline upper bound, never on the perf-gated miss path, so the whole
+// policy sits behind a coldpath barrier.
+//
+//gmt:coldpath
+func (rt *Runtime) oracleEvict(ready sim.EventFunc, rctx any) {
 	victim, vps := rt.furthest(rt.t1)
 	rt.t1.Remove(victim)
 	rt.clearT1Page(victim)
@@ -27,11 +35,11 @@ func (rt *Runtime) oracleEvict(ready func()) {
 	if vps.nextUse < 0 {
 		// Dead page: free (or a writeback if dirty).
 		rt.discard(victim, vps)
-		ready()
+		ready(rctx, 0)
 		return
 	}
 	if !rt.t2.Full() {
-		rt.placeInTier2(victim, vps, ready)
+		rt.placeInTier2(victim, vps, ready, rctx)
 		return
 	}
 	t2victim, t2ps := rt.furthest(rt.t2)
@@ -39,13 +47,13 @@ func (rt *Runtime) oracleEvict(ready func()) {
 		// Everything resident returns sooner: the incoming page is the
 		// least valuable, keep Tier-2 intact.
 		rt.discard(victim, vps)
-		ready()
+		ready(rctx, 0)
 		return
 	}
 	rt.t2.Remove(t2victim)
 	rt.m.Tier2Evictions++
 	rt.discard(t2victim, rt.dir.own(t2victim))
-	rt.placeInTier2Delayed(victim, vps, rt.cfg.Tier2EvictOverhead, ready)
+	rt.placeInTier2Delayed(victim, vps, rt.cfg.Tier2EvictOverhead, ready, rctx)
 }
 
 // furthest reports the resident with the furthest next use (dead pages

@@ -24,7 +24,7 @@ import (
 type pageDirectory struct {
 	dir    []*pageState
 	chunks [][]pageState
-	cursor int // fill position in the newest chunk
+	cursor int // states carved from the arena (chunk = cursor>>shift)
 	free   []*pageState
 
 	// Copy-on-write fork state (child directories only; nil otherwise).
@@ -102,7 +102,9 @@ func (d *pageDirectory) get(p tier.PageID) *pageState {
 
 // alloc hands out a zeroed state: recycled from the free list when one
 // exists, otherwise carved from the arena. The zero pageState is a
-// clean SSD-resident page (locSSD == 0).
+// clean SSD-resident page (locSSD == 0). Carved states are cleared
+// explicitly because a reset directory re-carves storage the previous
+// run dirtied.
 func (d *pageDirectory) alloc() *pageState {
 	if k := len(d.free); k > 0 {
 		ps := d.free[k-1]
@@ -110,13 +112,30 @@ func (d *pageDirectory) alloc() *pageState {
 		*ps = pageState{}
 		return ps
 	}
-	if len(d.chunks) == 0 || d.cursor == pageChunkSize {
+	ci, off := d.cursor>>pageChunkShift, d.cursor&(pageChunkSize-1)
+	if ci == len(d.chunks) {
 		d.chunks = append(d.chunks, make([]pageState, pageChunkSize))
-		d.cursor = 0
 	}
-	ps := &d.chunks[len(d.chunks)-1][d.cursor]
+	ps := &d.chunks[ci][off]
 	d.cursor++
+	*ps = pageState{}
 	return ps
+}
+
+// reset empties the directory, retaining the index capacity and the
+// state arena: the next run re-carves the same chunks instead of
+// re-allocating its footprint. Forked directories cannot reset — their
+// index aliases a parent's arena, and resetting would not return the
+// shared storage.
+func (d *pageDirectory) reset() {
+	if d.base != nil {
+		panic("core: reset of a forked page directory")
+	}
+	for i := range d.dir {
+		d.dir[i] = nil
+	}
+	d.free = d.free[:0]
+	d.cursor = 0
 }
 
 // fork returns a copy-on-write child of d. The child shares d's
@@ -172,9 +191,9 @@ func (d *pageDirectory) ownSlow(p tier.PageID) *pageState {
 // materializeChunk deep-copies ID-chunk c's shared entries into this
 // directory's arena. Only entries still aliased to the parent move
 // (pages first referenced by the child already live in its arena). The
-// waiters field is nilled rather than copied: a parent is only forked
-// at quiescence, where no waiter list is live, and sharing a backing
-// array across the fork would alias appends.
+// waiter queue is nilled rather than copied: a parent is only forked
+// at quiescence, where no waiter queue is live, and sharing nodes
+// across the fork would alias the parent's free list.
 //
 //gmt:coldpath
 func (d *pageDirectory) materializeChunk(c int) {
@@ -189,7 +208,7 @@ func (d *pageDirectory) materializeChunk(c int) {
 		}
 		ps := d.alloc()
 		*ps = *d.base[p]
-		ps.waiters = nil
+		ps.waitHead, ps.waitTail = nil, nil
 		d.dir[p] = ps
 	}
 	d.owned[c] = true

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/gmtsim/gmt/internal/sim"
 	"github.com/gmtsim/gmt/internal/tier"
 )
 
@@ -124,18 +125,19 @@ func TestPageDirectoryForkCoW(t *testing.T) {
 }
 
 // TestPageDirectoryForkWaitersNiled asserts materialization drops any
-// waiter backing array instead of aliasing it across the fork.
+// waiter queue instead of aliasing its nodes across the fork.
 func TestPageDirectoryForkWaitersNiled(t *testing.T) {
 	var parent pageDirectory
 	ps := parent.lookup(3)
-	ps.waiters = append(ps.waiters, func() {})
+	node := &waiterNode{call: sim.CallFunc, ctx: func() {}}
+	ps.waitHead, ps.waitTail = node, node
 
 	child := parent.fork()
 	cps := child.own(3)
-	if cps.waiters != nil {
-		t.Fatal("materialized state aliases the parent's waiter array")
+	if cps.waitHead != nil || cps.waitTail != nil {
+		t.Fatal("materialized state aliases the parent's waiter queue")
 	}
-	if len(parent.dir[3].waiters) != 1 {
-		t.Fatal("parent waiter list disturbed")
+	if parent.dir[3].waitHead != node {
+		t.Fatal("parent waiter queue disturbed")
 	}
 }

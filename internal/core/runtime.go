@@ -293,7 +293,30 @@ type pageState struct {
 	// placement (Config.TrackTier2Reuse time-to-first-reuse metric).
 	placedAt sim.Time
 
-	waiters []func()
+	// waitHead/waitTail queue the typed completion callbacks of accesses
+	// that arrived while the page was in flight (FIFO; run at install).
+	// Nodes come from the runtime's chunk-allocated free list, so joining
+	// an in-flight page allocates nothing in steady state.
+	waitHead, waitTail *waiterNode
+}
+
+// waiterNode is one queued access completion on an in-flight page:
+// call(ctx, arg) runs when the page installs. The miss pipeline used to
+// retain `done func()` closures here; the typed triple carries the same
+// callback without a per-access closure allocation.
+type waiterNode struct {
+	call sim.EventFunc
+	ctx  any
+	arg  int64
+	next *waiterNode
+}
+
+// slotWait is one fetch stalled because every Tier-1 slot is committed
+// to other in-flight fetches; start(ctx, 0) runs when an install frees
+// capacity.
+type slotWait struct {
+	start sim.EventFunc
+	ctx   any
 }
 
 // Storage is the drive-side interface the runtime issues I/O against:
@@ -336,16 +359,19 @@ type Runtime struct {
 	dir pageDirectory
 	// reserved counts Tier-1 slots committed to in-flight fetches;
 	// slotWaiters holds fetches stalled because every slot is either
-	// occupied by another in-flight fetch or unpickable.
+	// occupied by another in-flight fetch or unpickable. The queue is a
+	// head-cursor FIFO (mirroring sim.Server.waiters) so draining it
+	// reuses the backing array instead of reslicing it away.
 	reserved    int
-	slotWaiters []func()
+	slotWaiters []slotWait
+	slotHead    int
 
-	// fetchPool / placePool / waiterPool recycle the per-miss pipeline
-	// records and waiter backing arrays so the steady-state miss path
-	// allocates nothing.
+	// fetchPool / placePool / waiterFree recycle the per-miss pipeline
+	// records and waiter nodes so the steady-state miss path allocates
+	// nothing; pool misses are amortized by chunk allocation.
 	fetchPool  []*fetch
 	placePool  []*placement
-	waiterPool [][]func()
+	waiterFree *waiterNode
 
 	vtd        int64
 	sampler    *reuse.Sampler
@@ -386,6 +412,7 @@ type Runtime struct {
 
 var _ gpu.SyncMemoryManager = (*Runtime)(nil)
 var _ gpu.BatchSyncMemoryManager = (*Runtime)(nil)
+var _ gpu.CallSyncMemoryManager = (*Runtime)(nil)
 
 // NewRuntime builds a runtime (and its devices) on eng.
 func NewRuntime(eng *sim.Engine, cfg Config) *Runtime {
@@ -473,6 +500,170 @@ func newTier2(cfg Config) tier.Store {
 	}
 }
 
+// Reset returns the runtime — and the engine it schedules on — to the
+// state NewRuntime(rt.Engine(), cfg) would construct, retaining the
+// large allocations a fresh build would have to repeat: the page
+// directory's state arena and index, the tier residency arrays (when
+// capacities allow), the batch-path probe array, the engine's event
+// arena, and every pipeline pool (fetches, placements, waiter nodes,
+// NVMe requests, transfer moves). exp's worker pool recycles runtimes
+// across sweep points through this; the contract is byte-identical
+// output versus a fresh runtime, pinned by the recycled-vs-fresh
+// differential test and enforced at suite scale by gmtbench
+// -comparebench.
+//
+// Devices and tier structures whose shape cfg changes (different drive
+// config, lane count, capacities, or Tier-2 policy) are rebuilt rather
+// than reset; everything shape-compatible is reset in place.
+//
+// Reset panics on a forked runtime: a frozen parent's state is aliased
+// by its children, and a child's directory aliases its parent's arena.
+func (rt *Runtime) Reset(cfg Config) {
+	if rt.frozen {
+		panic("core: Reset of a frozen (forked) runtime")
+	}
+	if rt.dir.base != nil {
+		panic("core: Reset of a forked child runtime")
+	}
+	if cfg.Tier1Pages < 1 {
+		panic("core: Tier1Pages must be >= 1")
+	}
+	if cfg.PageSize <= 0 {
+		panic("core: PageSize must be positive")
+	}
+	rt.eng.Reset()
+
+	// Storage: reset in place when the drive shape is unchanged.
+	if cfg.SSD == rt.cfg.SSD && cfg.SSDCount == rt.cfg.SSDCount {
+		resetStorage(rt.ssd)
+	} else {
+		rt.ssd = newStorage(rt.eng, cfg)
+	}
+	// Host link and mover: the mover holds the link, so a rebuilt link
+	// forces a rebuilt mover.
+	if cfg.HostLanes == rt.cfg.HostLanes {
+		rt.hostLink.Reset()
+		if cfg.Transfer == rt.cfg.Transfer {
+			rt.mover.Reset()
+		} else {
+			rt.mover = xfer.NewEngine(rt.eng, rt.hostLink, cfg.Transfer)
+		}
+	} else {
+		rt.hostLink = pcie.NewLink(rt.eng, cfg.HostLanes)
+		rt.mover = xfer.NewEngine(rt.eng, rt.hostLink, cfg.Transfer)
+	}
+	// Tiers.
+	if cfg.Tier1Pages == rt.cfg.Tier1Pages {
+		rt.t1.Reset()
+	} else {
+		rt.t1 = tier.NewClock(cfg.Tier1Pages)
+	}
+	if tier2Compatible(rt.cfg, cfg) {
+		if rt.t2 != nil {
+			rt.t2.Reset()
+		}
+	} else {
+		rt.t2 = newTier2(cfg)
+	}
+
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	rt.cfg = cfg
+	rt.rng = rng
+	rt.classifier = reuse.Classifier{
+		Tier1Pages: int64(cfg.Tier1Pages),
+		Tier2Pages: int64(cfg.Tier2Pages),
+	}
+	rt.dir.reset()
+	for i := range rt.t1page {
+		rt.t1page[i] = 0
+	}
+	rt.reserved = 0
+	for i := range rt.slotWaiters {
+		rt.slotWaiters[i] = slotWait{}
+	}
+	rt.slotWaiters = rt.slotWaiters[:0]
+	rt.slotHead = 0
+	rt.vtd = 0
+	rt.sampler = nil
+	rt.markov = reuse.Markov{}
+	rt.recentLong = nil
+	rt.recentPos, rt.recentN = 0, 0
+	rt.nextOcc = nil
+	rt.m = stats.Run{}
+	rt.history = rt.history[:0]
+	rt.reuseNS = nil
+	rt.statsBase = nvme.Stats{}
+	if cfg.Policy == PolicyReuse {
+		rt.sampler = reuse.NewSampler(cfg.SampleTarget, cfg.SampleBatch)
+		rt.sampler.SetPipelined(!cfg.UnpipelinedRegression)
+		w := cfg.BackfillWindow
+		if w < 1 {
+			w = 1
+		}
+		rt.recentLong = make([]bool, w)
+	}
+	if cfg.Policy == PolicyOracle {
+		if len(cfg.Future) == 0 {
+			panic("core: PolicyOracle requires Config.Future")
+		}
+		rt.nextOcc = nextOccurrences(cfg.Future)
+	}
+	if cfg.FootprintPages > 0 {
+		rt.dir.reserve(cfg.FootprintPages)
+		rt.t1.Reserve(cfg.FootprintPages)
+		if rt.t2 != nil {
+			rt.t2.Reserve(cfg.FootprintPages)
+		}
+		// A probe array longer than the footprint is behavior-neutral:
+		// entries beyond it are zero and no trace page reaches them.
+		if len(rt.t1page) < cfg.FootprintPages {
+			rt.t1page = make([]int32, cfg.FootprintPages)
+		}
+	}
+	rt.m.Policy = cfg.Policy.String()
+	rt.historySample = int64(cfg.HistorySample)
+	rt.hotAux = rt.historySample > 0 || rt.sampler != nil
+	rt.batchOK = rt.historySample == 0 && cfg.PrefetchDegree == 0 && rt.nextOcc == nil
+}
+
+// resetStorage resets a drive or striped array in place.
+func resetStorage(s Storage) {
+	switch d := s.(type) {
+	case *nvme.Disk:
+		d.Reset()
+	case *nvme.Array:
+		d.Reset()
+	default:
+		panic(fmt.Sprintf("core: cannot reset storage of type %T", s))
+	}
+}
+
+// tier2Name reports the store policy newTier2 would build for cfg.
+func tier2Name(cfg Config) tier.StorePolicy {
+	switch {
+	case cfg.Tier2Policy != "":
+		return cfg.Tier2Policy
+	case cfg.Policy == PolicyTierOrder:
+		return tier.StoreClock
+	default:
+		return tier.StoreFIFO
+	}
+}
+
+// tier2Compatible reports whether the Tier-2 store built for old can be
+// Reset in place to serve new: same presence, implementation, and
+// capacity.
+func tier2Compatible(old, new Config) bool {
+	oldBaM, newBaM := old.Policy == PolicyBaM, new.Policy == PolicyBaM
+	if oldBaM || newBaM {
+		return oldBaM == newBaM
+	}
+	return old.Tier2Pages == new.Tier2Pages && tier2Name(old) == tier2Name(new)
+}
+
 // nextOccurrences computes, for each position, the next position of the
 // same page (-1 if none). The last-seen table is a slice keyed by page
 // ID (IDs are footprint-bounded); negative sentinel IDs — barrier
@@ -532,7 +723,7 @@ func (rt *Runtime) page(p tier.PageID) *pageState {
 //
 //gmt:hotpath
 func (rt *Runtime) Access(a gpu.Access, done func()) {
-	if rt.AccessSync(a, done) {
+	if rt.AccessSyncCall(a, sim.CallFunc, done, 0) {
 		done()
 	}
 }
@@ -541,10 +732,24 @@ func (rt *Runtime) Access(a gpu.Access, done func()) {
 // inline — the return value true stands in for the done() call the
 // classic path would make synchronously, and done is neither retained
 // nor invoked. Every other location takes the asynchronous machinery
-// and will call done exactly once when the page lands.
+// and will call done exactly once when the page lands. (Compat wrapper:
+// the GPU rides AccessSyncCall, the typed form.)
 //
 //gmt:hotpath
 func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
+	return rt.AccessSyncCall(a, sim.CallFunc, done, 0)
+}
+
+// AccessSyncCall implements gpu.CallSyncMemoryManager: the typed form of
+// AccessSync. On a Tier-1 hit it returns true and the callback is
+// neither retained nor invoked; otherwise call(ctx, arg) runs exactly
+// once when the page lands. Passing a top-level function with a pointer
+// context keeps the whole miss pipeline — waiter queue, slot
+// reservation, eviction placement, device completion — free of
+// per-access allocations.
+//
+//gmt:hotpath
+func (rt *Runtime) AccessSyncCall(a gpu.Access, call sim.EventFunc, ctx any, arg int64) bool {
 	if invariant.Enabled {
 		invariant.Assert(rt.t1.Len()+rt.reserved <= rt.t1.Capacity(),
 			"core: tier-1 oversubscribed: %d resident + %d reserved > %d slots",
@@ -606,15 +811,15 @@ func (rt *Runtime) AccessSync(a gpu.Access, done func()) bool {
 			ps.prefetched = false
 			rt.m.PrefetchHits++
 		}
-		ps.waiters = append(ps.waiters, done)
+		rt.queueWaiter(ps, call, ctx, arg)
 	case locTier2:
 		ps = rt.dir.own(a.Page)
 		rt.evaluateEviction(ps, idx)
-		rt.fetchFromTier2(a, ps, done)
+		rt.fetchFromTier2(a, ps, call, ctx, arg)
 	case locSSD:
 		ps = rt.dir.own(a.Page)
 		rt.evaluateEviction(ps, idx)
-		rt.fetchFromSSD(a, ps, done)
+		rt.fetchFromSSD(a, ps, call, ctx, arg)
 	default:
 		panic("core: invalid page location")
 	}
@@ -732,32 +937,56 @@ func (rt *Runtime) evaluateEviction(ps *pageState, idx int64) {
 
 // fetch carries one miss through its fill pipeline: Tier-1 slot
 // reservation → lookup/metadata latency → data movement (drive read or
-// Tier-2 page move) → install. Fetches are pooled on the Runtime and
-// their stage callbacks are bound once at construction, so the
+// Tier-2 page move) → install. Fetches are chunk-allocated and pooled
+// on the Runtime, and every stage is a top-level EventFunc, so the
 // steady-state miss path performs no per-fetch allocation.
 type fetch struct {
 	rt     *Runtime
 	page   tier.PageID
 	lookup sim.Time // pre-transfer metadata latency
-
-	startSSD func() // slot reserved: run the SSD fill pipeline
-	startT2  func() // slot reserved: run the Tier-2 fill pipeline
 }
+
+// fetchChunkSize sizes the fetch pool's allocation granule: a pool miss
+// carves 64 records at once, bounding warm-up allocations by
+// peak-in-flight/64 instead of paying one per record.
+const fetchChunkSize = 64
 
 // Typed stages of the fill pipeline (zero-alloc AfterCall/ReadCall/
 // MovePageCall paths).
 
+// fetchStartSSD runs once the Tier-1 slot is reserved: the
+// lookup/metadata latency elapses, then the drive read is issued.
+//
+//gmt:hotpath
+func fetchStartSSD(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	f.rt.eng.AfterCall(f.lookup, fetchSSDReady, f, 0)
+}
+
+// fetchStartT2 runs once the Tier-1 slot is reserved: the
+// lookup/metadata latency elapses, then the page moves down.
+//
+//gmt:hotpath
+func fetchStartT2(ctx any, _ int64) {
+	f := ctx.(*fetch)
+	f.rt.eng.AfterCall(f.lookup, fetchT2Ready, f, 0)
+}
+
+//gmt:hotpath
 func fetchSSDReady(ctx any, _ int64) {
 	f := ctx.(*fetch)
 	f.rt.ssd.ReadCall(int64(f.page), f.rt.cfg.PageSize, fetchLanded, f, 0)
 }
 
+//gmt:hotpath
 func fetchT2Ready(ctx any, _ int64) {
 	f := ctx.(*fetch)
 	f.rt.mover.MovePageCall(false, gpu.WarpThreads, fetchMoved, f, 0)
 }
 
 // fetchLanded completes an SSD fill.
+//
+//gmt:hotpath
 func fetchLanded(ctx any, _ int64) {
 	f := ctx.(*fetch)
 	rt, p := f.rt, f.page
@@ -768,6 +997,8 @@ func fetchLanded(ctx any, _ int64) {
 }
 
 // fetchMoved completes a Tier-2 page move down.
+//
+//gmt:hotpath
 func fetchMoved(ctx any, _ int64) {
 	f := ctx.(*fetch)
 	rt, p := f.rt, f.page
@@ -776,36 +1007,33 @@ func fetchMoved(ctx any, _ int64) {
 	rt.install(p)
 }
 
-// newFetch pops a pooled fetch or builds one. The two start callbacks
-// close only over the fetch itself and are bound once; pool misses are
-// amortized away by reuse.
+// newFetch pops a pooled fetch, carving a fresh chunk on a pool miss.
 //
 //gmt:coldpath
 func (rt *Runtime) newFetch() *fetch {
-	if n := len(rt.fetchPool); n > 0 {
-		f := rt.fetchPool[n-1]
-		rt.fetchPool = rt.fetchPool[:n-1]
-		return f
+	n := len(rt.fetchPool)
+	if n == 0 {
+		chunk := make([]fetch, fetchChunkSize)
+		for i := range chunk {
+			chunk[i].rt = rt
+			rt.fetchPool = append(rt.fetchPool, &chunk[i])
+		}
+		n = len(rt.fetchPool)
 	}
-	f := &fetch{rt: rt}
-	f.startSSD = func() {
-		f.rt.eng.AfterCall(f.lookup, fetchSSDReady, f, 0)
-	}
-	f.startT2 = func() {
-		f.rt.eng.AfterCall(f.lookup, fetchT2Ready, f, 0)
-	}
+	f := rt.fetchPool[n-1]
+	rt.fetchPool = rt.fetchPool[:n-1]
 	return f
 }
 
 // fetchFromTier2 serves a miss from host memory: a useful Tier-2 lookup,
 // then a GPU-orchestrated page move down (Hybrid-XT, §2.3).
 //
-//gmt:coldpath
-func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
+//gmt:hotpath
+func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, call sim.EventFunc, ctx any, arg int64) {
 	rt.m.Tier2Lookups++
 	rt.m.Tier2Hits++
 	if rt.cfg.TrackTier2Reuse {
-		rt.reuseNS = append(rt.reuseNS, int64(rt.eng.Now()-ps.placedAt))
+		rt.noteTier2Reuse(ps)
 	}
 	// The page leaves Tier-2 the moment the move starts (no duplication
 	// across tiers, §2.2). Removing before the eviction triggered by
@@ -815,15 +1043,24 @@ func (rt *Runtime) fetchFromTier2(a gpu.Access, ps *pageState, done func()) {
 	f := rt.newFetch()
 	f.page = a.Page
 	f.lookup = rt.cfg.Tier2Lookup + rt.cfg.HostSWOverhead
-	rt.beginFetch(a, ps, done, f.startT2)
+	rt.beginFetch(a, ps, call, ctx, arg, fetchStartT2, f)
+}
+
+// noteTier2Reuse records the time-to-first-reuse sample for a Tier-2
+// hit. Config-gated (TrackTier2Reuse) and growing, so it lives behind a
+// coldpath barrier off the miss path.
+//
+//gmt:coldpath
+func (rt *Runtime) noteTier2Reuse(ps *pageState) {
+	rt.reuseNS = append(rt.reuseNS, int64(rt.eng.Now()-ps.placedAt))
 }
 
 // fetchFromSSD serves a miss from the drive, bypassing Tier-2 on the
 // up-path. Under the 3-tier policies the preceding Tier-2 probe was
 // wasteful and its latency sits on the critical path (§3.4).
 //
-//gmt:coldpath
-func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
+//gmt:hotpath
+func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, call sim.EventFunc, ctx any, arg int64) {
 	lookup := sim.Time(0)
 	if rt.cfg.Policy != PolicyBaM {
 		rt.m.Tier2Lookups++
@@ -834,7 +1071,7 @@ func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
 	f := rt.newFetch()
 	f.page = a.Page
 	f.lookup = lookup
-	rt.beginFetch(a, ps, done, f.startSSD)
+	rt.beginFetch(a, ps, call, ctx, arg, fetchStartSSD, f)
 	if rt.cfg.PrefetchDegree > 0 {
 		rt.prefetchAfter(a.Page)
 	}
@@ -842,14 +1079,23 @@ func (rt *Runtime) fetchFromSSD(a gpu.Access, ps *pageState, done func()) {
 
 // landFill completes an SSD fill: directly into Tier-1 (the paper's
 // up-path bypass), or staged through Tier-2 under the ablation flag.
+//
+//gmt:hotpath
 func (rt *Runtime) landFill(p tier.PageID) {
 	if !rt.cfg.UpPathThroughTier2 || rt.t2 == nil {
 		rt.install(p)
 		return
 	}
-	// Ablation: the page lands in a host staging buffer first, then is
-	// moved up by the warp, paying the host software path and an extra
-	// PCIe hop on every fill.
+	rt.landFillStaged(p)
+}
+
+// landFillStaged is the UpPathThroughTier2 ablation: the page lands in
+// a host staging buffer first, then is moved up by the warp, paying the
+// host software path and an extra PCIe hop on every fill. Config-gated
+// and closure-based, so it sits behind a coldpath barrier.
+//
+//gmt:coldpath
+func (rt *Runtime) landFillStaged(p tier.PageID) {
 	//lint:ignore hotclosure UpPathThroughTier2 ablation only; never on the default hot path
 	rt.eng.After(rt.cfg.HostSWOverhead, func() {
 		rt.mover.MovePage(false, gpu.WarpThreads, func() {
@@ -861,6 +1107,9 @@ func (rt *Runtime) landFill(p tier.PageID) {
 
 // prefetchAfter speculatively fetches sequential successors of a
 // demand-missed page into free Tier-1 slots (never evicting for them).
+// Config-gated (PrefetchDegree); off the default miss path.
+//
+//gmt:coldpath
 func (rt *Runtime) prefetchAfter(p tier.PageID) {
 	for k := 1; k <= rt.cfg.PrefetchDegree; k++ {
 		q := p + tier.PageID(k)
@@ -883,23 +1132,53 @@ func (rt *Runtime) prefetchAfter(p tier.PageID) {
 }
 
 // beginFetch flips the page in-flight and queues the requester; start
-// runs (possibly immediately) once a Tier-1 slot has been reserved.
-func (rt *Runtime) beginFetch(a gpu.Access, ps *pageState, done, start func()) {
+// runs (possibly immediately, with f as its context) once a Tier-1 slot
+// has been reserved.
+//
+//gmt:hotpath
+func (rt *Runtime) beginFetch(a gpu.Access, ps *pageState, call sim.EventFunc, ctx any, arg int64, start sim.EventFunc, f *fetch) {
 	ps.loc = locInFlight
 	if a.Write {
 		ps.pendingDirty = true
 	}
-	if ps.waiters == nil {
-		// Waiter backing arrays are pooled across pages: install returns
-		// them once dispatched, so the population is bounded by the peak
-		// number of concurrently in-flight pages, not by the footprint.
-		if n := len(rt.waiterPool); n > 0 {
-			ps.waiters = rt.waiterPool[n-1]
-			rt.waiterPool = rt.waiterPool[:n-1]
-		}
+	rt.queueWaiter(ps, call, ctx, arg)
+	rt.acquireSlot(start, f)
+}
+
+// queueWaiter appends one typed completion callback to the page's
+// in-flight waiter queue. Nodes are free-listed; install returns them
+// once dispatched, so the population is bounded by the peak number of
+// concurrently queued accesses, not by the footprint.
+//
+//gmt:hotpath
+func (rt *Runtime) queueWaiter(ps *pageState, call sim.EventFunc, ctx any, arg int64) {
+	n := rt.waiterFree
+	if n == nil {
+		n = rt.newWaiterChunk()
 	}
-	ps.waiters = append(ps.waiters, done)
-	rt.acquireSlot(start)
+	rt.waiterFree = n.next
+	n.call, n.ctx, n.arg, n.next = call, ctx, arg, nil
+	if ps.waitTail == nil {
+		ps.waitHead = n
+	} else {
+		ps.waitTail.next = n
+	}
+	ps.waitTail = n
+}
+
+// waiterChunkSize sizes the waiter free list's allocation granule.
+const waiterChunkSize = 64
+
+// newWaiterChunk carves a fresh chunk of linked waiter nodes, returning
+// its head (the chunk's tail terminates the new free list).
+//
+//gmt:coldpath
+func (rt *Runtime) newWaiterChunk() *waiterNode {
+	chunk := make([]waiterNode, waiterChunkSize)
+	for i := range chunk[:len(chunk)-1] {
+		chunk[i].next = &chunk[i+1]
+	}
+	return &chunk[0]
 }
 
 // acquireSlot reserves a Tier-1 slot for an in-flight fetch, evicting a
@@ -913,19 +1192,24 @@ func (rt *Runtime) beginFetch(a gpu.Access, ps *pageState, done, start func()) {
 // pays its cost on the miss path while discards are free. Dirty
 // writebacks to the SSD stay asynchronous (both BaM and GMT enqueue them
 // to the drive's queues and move on).
-func (rt *Runtime) acquireSlot(start func()) {
+//
+//gmt:hotpath
+func (rt *Runtime) acquireSlot(start sim.EventFunc, ctx any) {
 	if rt.t1.Len() == 0 && rt.reserved >= rt.t1.Capacity() {
-		rt.slotWaiters = append(rt.slotWaiters, start)
+		rt.slotWaiters = append(rt.slotWaiters, slotWait{start, ctx})
 		return
 	}
 	if rt.t1.Len()+rt.reserved >= rt.t1.Capacity() {
 		rt.reserved++
-		rt.evictTier1(start)
+		rt.evictTier1(start, ctx)
 		return
 	}
 	rt.reserved++
-	start()
+	start(ctx, 0)
 }
+
+// slotQueued reports how many fetches are stalled on slot capacity.
+func (rt *Runtime) slotQueued() int { return len(rt.slotWaiters) - rt.slotHead }
 
 // setT1Page records p's clock slot in the batch-path residency probe.
 //
@@ -964,6 +1248,8 @@ func (rt *Runtime) growT1Page(n int64) {
 }
 
 // install completes a fetch: the page enters Tier-1 and all waiters run.
+//
+//gmt:hotpath
 func (rt *Runtime) install(p tier.PageID) {
 	ps := rt.dir.own(p)
 	rt.reserved--
@@ -972,31 +1258,40 @@ func (rt *Runtime) install(p tier.PageID) {
 	rt.setT1Page(p, ps.t1slot)
 	ps.dirty = ps.pendingDirty
 	ps.pendingDirty = false
-	// Detach the waiter list before running it (a waiter may re-miss and
-	// re-queue), zero the entries so dispatched closures are collectable,
-	// then hand the backing array back to the shared pool.
-	waiters := ps.waiters
-	ps.waiters = nil
-	for i, w := range waiters {
-		waiters[i] = nil
-		w()
+	// Detach the waiter queue before running it (a waiter may re-miss
+	// and re-queue), returning each node to the free list with its
+	// payload cleared so dispatched callbacks stay collectable.
+	n := ps.waitHead
+	ps.waitHead, ps.waitTail = nil, nil
+	for n != nil {
+		next := n.next
+		call, ctx, arg := n.call, n.ctx, n.arg
+		*n = waiterNode{next: rt.waiterFree}
+		rt.waiterFree = n
+		call(ctx, arg)
+		n = next
 	}
-	if waiters != nil {
-		rt.waiterPool = append(rt.waiterPool, waiters[:0])
-	}
-	if len(rt.slotWaiters) > 0 {
-		next := rt.slotWaiters[0]
-		rt.slotWaiters = rt.slotWaiters[1:]
-		rt.acquireSlot(next)
+	if rt.slotHead < len(rt.slotWaiters) {
+		w := rt.slotWaiters[rt.slotHead]
+		rt.slotWaiters[rt.slotHead] = slotWait{}
+		rt.slotHead++
+		if rt.slotHead == len(rt.slotWaiters) {
+			rt.slotWaiters = rt.slotWaiters[:0]
+			rt.slotHead = 0
+		}
+		rt.acquireSlot(w.start, w.ctx)
 	}
 }
 
 // evictTier1 runs the clock and the configured placement policy on the
-// victim. ready fires when the slot's data is out of the way: immediately
-// for discards/writebacks, or after the Tier-2 placement transfer.
-func (rt *Runtime) evictTier1(ready func()) {
+// victim. ready(rctx, 0) fires when the slot's data is out of the way:
+// immediately for discards/writebacks, or after the Tier-2 placement
+// transfer.
+//
+//gmt:hotpath
+func (rt *Runtime) evictTier1(ready sim.EventFunc, rctx any) {
 	if rt.cfg.Policy == PolicyOracle {
-		rt.oracleEvict(ready)
+		rt.oracleEvict(ready, rctx)
 		return
 	}
 	victim := rt.t1.Victim()
@@ -1016,18 +1311,18 @@ func (rt *Runtime) evictTier1(ready func()) {
 	switch rt.cfg.Policy {
 	case PolicyBaM:
 		rt.discard(victim, ps)
-		ready()
+		ready(rctx, 0)
 	case PolicyTierOrder:
-		rt.placeInTier2Evicting(victim, ps, ready)
+		rt.placeInTier2Evicting(victim, ps, ready, rctx)
 	case PolicyRandom:
 		if rt.rng.Intn(2) == 0 {
-			rt.placeInTier2Evicting(victim, ps, ready)
+			rt.placeInTier2Evicting(victim, ps, ready, rctx)
 		} else {
 			rt.discard(victim, ps)
-			ready()
+			ready(rctx, 0)
 		}
 	case PolicyReuse:
-		rt.placeByClass(victim, ps, class, trained, ready)
+		rt.placeByClass(victim, ps, class, trained, ready, rctx)
 	default:
 		panic("core: unknown policy")
 	}
@@ -1090,7 +1385,9 @@ func (rt *Runtime) predictClass(p tier.PageID) (reuse.Class, bool) {
 // backfill heuristic (§2.2) redirects it into an underused Tier-2. A
 // Short class can only reach here via the retry bound; it is treated as
 // Medium, the nearest placeable tier.
-func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.Class, trained bool, ready func()) {
+//
+//gmt:hotpath
+func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.Class, trained bool, ready sim.EventFunc, rctx any) {
 	ps.predicted = class
 	ps.hasPrediction = true
 	rt.noteEvictionClass(class)
@@ -1099,47 +1396,55 @@ func (rt *Runtime) placeByClass(victim tier.PageID, ps *pageState, class reuse.C
 		ps.provisional = !trained
 		ps.coinPlaced = !trained
 		if !rt.t2.Full() {
-			rt.placeInTier2(victim, ps, ready)
+			rt.placeInTier2(victim, ps, ready, rctx)
 			return
 		}
 		// A trained Medium page may reclaim the slot of the oldest
 		// provisional resident; trained residents are never displaced.
-		if trained && rt.reclaimTier2(func(v *pageState) bool { return v.provisional }) {
-			rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready)
+		if trained && rt.reclaimTier2(psProvisional) {
+			rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready, rctx)
 			return
 		}
 		rt.discard(victim, ps)
-		ready()
+		ready(rctx, 0)
 	case reuse.Long:
 		if rt.backfillActive() {
 			if !rt.t2.Full() {
 				rt.m.BackfillPlaced++
 				ps.provisional = true
 				ps.coinPlaced = false
-				rt.placeInTier2(victim, ps, ready)
+				rt.placeInTier2(victim, ps, ready, rctx)
 				return
 			}
 			// Backfill may recycle stale sampling-phase coin
 			// placements, but never other backfill residents — that
 			// stability is what retains a useful subset of a cyclic
 			// scan.
-			if rt.reclaimTier2(func(v *pageState) bool { return v.coinPlaced }) {
+			if rt.reclaimTier2(psCoinPlaced) {
 				rt.m.BackfillPlaced++
 				ps.provisional = true
 				ps.coinPlaced = false
-				rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready)
+				rt.placeInTier2Delayed(victim, ps, rt.cfg.Tier2EvictOverhead, ready, rctx)
 				return
 			}
 		}
 		rt.discard(victim, ps)
-		ready()
+		ready(rctx, 0)
 	default:
 		panic("core: unplaceable class")
 	}
 }
 
+// Reclaim predicates, as top-level functions so the miss path passes
+// pre-existing funcs instead of minting closures.
+
+func psProvisional(v *pageState) bool { return v.provisional }
+func psCoinPlaced(v *pageState) bool  { return v.coinPlaced }
+
 // reclaimTier2 evicts the FIFO-oldest Tier-2 resident if it satisfies
 // eligible, reporting whether a slot was freed.
+//
+//gmt:hotpath
 func (rt *Runtime) reclaimTier2(eligible func(*pageState) bool) bool {
 	v := rt.t2.Victim()
 	vps := rt.dir.own(v)
@@ -1175,7 +1480,9 @@ func (rt *Runtime) backfillActive() bool {
 
 // placeInTier2Evicting inserts the victim into Tier-2, evicting Tier-2's
 // own replacement victim first if full (TierOrder and Random semantics).
-func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready func()) {
+//
+//gmt:hotpath
+func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready sim.EventFunc, rctx any) {
 	var overhead sim.Time
 	if rt.t2.Full() {
 		t2v := rt.t2.Victim()
@@ -1186,57 +1493,75 @@ func (rt *Runtime) placeInTier2Evicting(victim tier.PageID, ps *pageState, ready
 		// warp before it can start the placement transfer.
 		overhead = rt.cfg.Tier2EvictOverhead
 	}
-	rt.placeInTier2Delayed(victim, ps, overhead, ready)
+	rt.placeInTier2Delayed(victim, ps, overhead, ready, rctx)
 }
 
 // placeInTier2 moves a Tier-1 victim into host memory: metadata first,
 // then the data over PCIe, performed by the evicting warp's threads —
 // ready fires when the transfer lands.
-func (rt *Runtime) placeInTier2(victim tier.PageID, ps *pageState, ready func()) {
-	rt.placeInTier2Delayed(victim, ps, 0, ready)
+//
+//gmt:hotpath
+func (rt *Runtime) placeInTier2(victim tier.PageID, ps *pageState, ready sim.EventFunc, rctx any) {
+	rt.placeInTier2Delayed(victim, ps, 0, ready, rctx)
 }
 
 // placement carries one Tier-2 placement through its metadata delay and
-// page move. Placements are pooled on the Runtime and their stages are
-// top-level EventFuncs, mirroring the fetch pool.
+// page move. Placements are chunk-allocated and pooled on the Runtime
+// and their stages are top-level EventFuncs, mirroring the fetch pool.
 type placement struct {
 	rt    *Runtime
-	ready func()
+	ready sim.EventFunc
+	rctx  any
 }
 
+// placeChunkSize sizes the placement pool's allocation granule.
+const placeChunkSize = 16
+
 // placementRun starts the page move to host memory.
+//
+//gmt:hotpath
 func placementRun(ctx any, _ int64) {
 	pl := ctx.(*placement)
 	pl.rt.mover.MovePageCall(true, gpu.WarpThreads, placementDone, pl, 0)
 }
 
 // placementDone recycles the placement and unblocks the evicting fetch.
+//
+//gmt:hotpath
 func placementDone(ctx any, _ int64) {
 	pl := ctx.(*placement)
-	rt, ready := pl.rt, pl.ready
-	pl.ready = nil
+	rt, ready, rctx := pl.rt, pl.ready, pl.rctx
+	pl.ready, pl.rctx = nil, nil
 	rt.placePool = append(rt.placePool, pl)
 	if ready != nil {
-		ready()
+		ready(rctx, 0)
 	}
 }
 
-// newPlacement pops a pooled placement or allocates one.
+// newPlacement pops a pooled placement, carving a chunk on a miss.
 //
 //gmt:coldpath
 func (rt *Runtime) newPlacement() *placement {
-	if n := len(rt.placePool); n > 0 {
-		pl := rt.placePool[n-1]
-		rt.placePool = rt.placePool[:n-1]
-		return pl
+	n := len(rt.placePool)
+	if n == 0 {
+		chunk := make([]placement, placeChunkSize)
+		for i := range chunk {
+			chunk[i].rt = rt
+			rt.placePool = append(rt.placePool, &chunk[i])
+		}
+		n = len(rt.placePool)
 	}
-	return &placement{rt: rt}
+	pl := rt.placePool[n-1]
+	rt.placePool = rt.placePool[:n-1]
+	return pl
 }
 
 // placeInTier2Delayed reserves the Tier-2 slot immediately (so
 // same-instant evictions cannot double-book it) and starts the data move
 // after the given metadata-management delay.
-func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay sim.Time, ready func()) {
+//
+//gmt:hotpath
+func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay sim.Time, ready sim.EventFunc, rctx any) {
 	rt.t2.Insert(victim)
 	ps.loc = locTier2
 	ps.placedAt = rt.eng.Now()
@@ -1245,11 +1570,11 @@ func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay 
 	if rt.cfg.AsyncEviction && ready != nil {
 		// §5 future work: the placement proceeds in the background;
 		// the faulting warp does not wait for it.
-		ready()
-		ready = nil
+		ready(rctx, 0)
+		ready, rctx = nil, nil
 	}
 	pl := rt.newPlacement()
-	pl.ready = ready
+	pl.ready, pl.rctx = ready, rctx
 	if delay > 0 {
 		rt.eng.AfterCall(delay, placementRun, pl, 0)
 		return
@@ -1259,6 +1584,8 @@ func (rt *Runtime) placeInTier2Delayed(victim tier.PageID, ps *pageState, delay 
 
 // discard drops a clean page (its home copy on the SSD is current) or
 // writes a dirty one back to the drive.
+//
+//gmt:hotpath
 func (rt *Runtime) discard(p tier.PageID, ps *pageState) {
 	ps.loc = locSSD
 	if ps.dirty {
@@ -1355,7 +1682,7 @@ func (rt *Runtime) CheckInvariants() {
 			if rt.t1.Contains(p) || (rt.t2 != nil && rt.t2.Contains(p)) {
 				panic(fmt.Sprintf("core: page %d marked SSD but tier-resident", p))
 			}
-			if len(ps.waiters) > 0 {
+			if ps.waitHead != nil {
 				panic(fmt.Sprintf("core: page %d has stranded waiters", p))
 			}
 		}
@@ -1366,8 +1693,8 @@ func (rt *Runtime) CheckInvariants() {
 	if rt.t2 != nil && t2n != rt.t2.Len() {
 		panic(fmt.Sprintf("core: Tier-2 accounting mismatch: %d vs %d", t2n, rt.t2.Len()))
 	}
-	if inflight != rt.reserved+len(rt.slotWaiters) {
+	if inflight != rt.reserved+rt.slotQueued() {
 		panic(fmt.Sprintf("core: reservation mismatch: %d in flight vs %d reserved + %d waiting",
-			inflight, rt.reserved, len(rt.slotWaiters)))
+			inflight, rt.reserved, rt.slotQueued()))
 	}
 }

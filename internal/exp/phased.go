@@ -182,11 +182,49 @@ func (s *Suite) simulate(w workload.Workload, cfg core.Config) stats.Run {
 	return s.runMono(w, cfg)
 }
 
-// runMono is the classic single-kernel simulation.
+// runUnit is one recyclable {engine, runtime} pair. Monolithic
+// simulations draw units from the suite pool: a unit that finished a
+// run is Reset — reusing its page-directory arena, tier arrays, event
+// arena, and pipeline pools — instead of being rebuilt from scratch,
+// which is where sweep-scale prewarms used to spend most of their
+// allocation churn. Units never serve phased runs: a forked parent is
+// frozen forever and a forked child aliases its parent's arena, so
+// neither may be recycled (Runtime.Reset panics on both).
+type runUnit struct {
+	eng *sim.Engine
+	rt  *core.Runtime
+}
+
+// acquireUnit pops a pooled unit reset to cfg, or builds a fresh one.
+func (s *Suite) acquireUnit(cfg core.Config) *runUnit {
+	s.unitMu.Lock()
+	var u *runUnit
+	if n := len(s.units); n > 0 {
+		u = s.units[n-1]
+		s.units[n-1] = nil
+		s.units = s.units[:n-1]
+	}
+	s.unitMu.Unlock()
+	if u == nil {
+		eng := sim.NewEngine()
+		return &runUnit{eng: eng, rt: core.NewRuntime(eng, cfg)}
+	}
+	u.rt.Reset(cfg)
+	return u
+}
+
+// releaseUnit returns a unit whose run completed to the pool.
+func (s *Suite) releaseUnit(u *runUnit) {
+	s.unitMu.Lock()
+	s.units = append(s.units, u)
+	s.unitMu.Unlock()
+}
+
+// runMono is the classic single-kernel simulation, on a recycled unit.
 func (s *Suite) runMono(w workload.Workload, cfg core.Config) stats.Run {
 	gcfg := s.GPU
-	eng := sim.NewEngine()
-	rt := core.NewRuntime(eng, cfg)
+	u := s.acquireUnit(cfg)
+	eng, rt := u.eng, u.rt
 	g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: s.Trace(w)}, rt)
 	g.Launch()
 	eng.Run()
@@ -198,6 +236,7 @@ func (s *Suite) runMono(w workload.Workload, cfg core.Config) stats.Run {
 	m.WallTime = eng.Now()
 	m.WarpComputeNS = g.ComputeTime()
 	m.WarpStallNS = g.StallTime()
+	s.releaseUnit(u)
 	return m
 }
 

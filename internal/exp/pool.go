@@ -30,6 +30,12 @@ type Report struct {
 	BusyNS      int64 // summed per-job wall time across workers
 	WallNS      int64 // end-to-end prewarm wall time
 	Phases      []PhaseReport
+
+	// WorkerBusyNS is each worker's summed job time across all phases
+	// (len == Workers). A skewed profile means a long-tail job pinned one
+	// worker while the rest idled — the pool-utilization signal gmtbench
+	// surfaces as worker_busy_ms.
+	WorkerBusyNS []int64
 }
 
 // Prewarm plans the requested experiments (see Plan) and executes the
@@ -59,7 +65,7 @@ func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, c
 	if clock == nil {
 		clock = func() int64 { return 0 }
 	}
-	rep := Report{Workers: workers}
+	rep := Report{Workers: workers, WorkerBusyNS: make([]int64, workers)}
 	sims0, hits0 := s.Counters()
 	start := clock()
 	var err error
@@ -75,7 +81,7 @@ func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, c
 			continue
 		}
 		phaseStart := clock()
-		busy, jerr := runJobs(ctx, jobs, workers, clock)
+		busy, jerr := runJobs(ctx, jobs, workers, clock, rep.WorkerBusyNS)
 		rep.BusyNS += busy
 		rep.Phases = append(rep.Phases, PhaseReport{
 			Name: ph.Name, Jobs: len(jobs), WallNS: clock() - phaseStart,
@@ -93,12 +99,14 @@ func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, c
 }
 
 // runJobs drains the job list on a bounded worker pool and returns the
-// summed per-job busy time. The first job panic is captured and
+// summed per-job busy time; each worker additionally accumulates its own
+// job time into workerBusy[i] (workers beyond len(jobs) never start and
+// stay at their prior value). The first job panic is captured and
 // re-raised after all workers exit, so a failed simulation surfaces the
 // same way it would sequentially. Workers check ctx before claiming
 // each job; on cancellation the remaining jobs are skipped, already
 // started jobs finish, and ctx.Err() is returned after the pool drains.
-func runJobs(ctx context.Context, jobs []Job, workers int, clock func() int64) (int64, error) {
+func runJobs(ctx context.Context, jobs []Job, workers int, clock func() int64, workerBusy []int64) (int64, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -106,6 +114,7 @@ func runJobs(ctx context.Context, jobs []Job, workers int, clock func() int64) (
 	panics := make(chan interface{}, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -121,7 +130,13 @@ func runJobs(ctx context.Context, jobs []Job, workers int, clock func() int64) (
 				}
 				t0 := clock()
 				jobs[n].Run()
-				atomic.AddInt64(&busy, clock()-t0)
+				d := clock() - t0
+				atomic.AddInt64(&busy, d)
+				if workerBusy != nil {
+					// Worker i is the only writer of workerBusy[i]; the
+					// caller reads after wg.Wait establishes the ordering.
+					workerBusy[i] += d
+				}
 			}
 		}()
 	}

@@ -27,12 +27,65 @@ func TestRunJobsObservesCancellation(t *testing.T) {
 			atomic.AddInt64(&ran, 1)
 		}}
 	}
-	_, err := runJobs(ctx, jobs, 2, func() int64 { return 0 })
+	_, err := runJobs(ctx, jobs, 2, func() int64 { return 0 }, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("runJobs error = %v, want context.Canceled", err)
 	}
 	if n := atomic.LoadInt64(&ran); n >= int64(len(jobs)) {
 		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+// TestRunJobsWorkerBusyAccounting: the per-worker busy slice partitions
+// the pool's total busy time — each worker's jobs land in its own slot,
+// and the slots sum to exactly the aggregate runJobs returns.
+func TestRunJobsWorkerBusyAccounting(t *testing.T) {
+	var ticks int64
+	clock := func() int64 { return atomic.AddInt64(&ticks, 1) }
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("job%d", i), Run: func() {}}
+	}
+	workerBusy := make([]int64, 3)
+	busy, err := runJobs(context.Background(), jobs, 3, clock, workerBusy)
+	if err != nil {
+		t.Fatalf("runJobs error = %v", err)
+	}
+	if busy <= 0 {
+		t.Fatalf("busy = %d, want > 0 under a ticking clock", busy)
+	}
+	var sum int64
+	for _, b := range workerBusy {
+		if b < 0 {
+			t.Fatalf("negative per-worker busy time: %v", workerBusy)
+		}
+		sum += b
+	}
+	if sum != busy {
+		t.Fatalf("per-worker busy sums to %d, aggregate is %d", sum, busy)
+	}
+}
+
+// TestPrewarmWorkerBusyLen: Prewarm sizes WorkerBusyNS to the requested
+// worker count even when phases cap the pool below it.
+func TestPrewarmWorkerBusyLen(t *testing.T) {
+	scale := workload.Scale{Tier1Pages: 128, Tier2Pages: 512, Oversubscription: 2}
+	s := NewSuite(scale)
+	var ticks int64
+	rep, err := Prewarm(context.Background(), s, []string{"fig8"}, 4,
+		func() int64 { return atomic.AddInt64(&ticks, 1) })
+	if err != nil {
+		t.Fatalf("Prewarm error = %v", err)
+	}
+	if len(rep.WorkerBusyNS) != 4 {
+		t.Fatalf("WorkerBusyNS has %d slots, want 4", len(rep.WorkerBusyNS))
+	}
+	var sum int64
+	for _, b := range rep.WorkerBusyNS {
+		sum += b
+	}
+	if sum != rep.BusyNS {
+		t.Fatalf("per-worker busy sums to %d, BusyNS is %d", sum, rep.BusyNS)
 	}
 }
 

@@ -61,6 +61,14 @@ type Suite struct {
 	apps  []workload.Workload
 	kvApp workload.Workload // lazily built KV-serving workload
 
+	// unitMu guards units, the pool of recycled {engine, runtime} pairs
+	// monolithic simulations draw from (phased.go): a finished run's
+	// page-directory arena, tier arrays, and event arena are reset and
+	// reused by the next sweep point instead of reallocated. Results are
+	// byte-identical either way (core.Runtime.Reset's contract).
+	unitMu sync.Mutex
+	units  []*runUnit
+
 	mu            sync.Mutex
 	traces        map[string][]gpu.Access
 	traceInflight map[string]chan struct{}
@@ -310,6 +318,7 @@ func (s *Suite) RunHMM(w workload.Workload, forcedHitRate float64) stats.Run {
 	cfg.PageCachePages = s.Scale.Tier2Pages
 	cfg.ForcedHitRate = forcedHitRate
 	cfg.Seed = s.Seed
+	cfg.FootprintPages = int(w.Pages())
 	gcfg := s.GPU
 	key := fmt.Sprintf("%s/HMM/%.3f", w.Name(), forcedHitRate)
 	return s.memoRun(key, func() stats.Run {

@@ -170,6 +170,6 @@ func TestRunJobsPanicPropagates(t *testing.T) {
 	runJobs(context.Background(), []Job{
 		{Key: "ok", Run: func() {}},
 		{Key: "bad", Run: func() { panic("boom") }},
-	}, 2, zero)
+	}, 2, zero, nil)
 	t.Fatal("runJobs returned despite a panicking job")
 }

@@ -103,6 +103,18 @@ type SyncMemoryManager interface {
 	AccessSync(a Access, done func()) bool
 }
 
+// CallSyncMemoryManager is the typed-callback extension of
+// SyncMemoryManager. AccessSyncCall resolves a like AccessSync, but the
+// asynchronous completion is delivered by invoking call(ctx, arg) — a
+// preallocated (sim.EventFunc, ctx) pair — instead of a func() closure.
+// The GPU detects the interface at Launch and wakes stalled warps
+// through a package-level event function with the *warp as ctx, so a
+// miss allocates no completion closure anywhere on its path.
+type CallSyncMemoryManager interface {
+	SyncMemoryManager
+	AccessSyncCall(a Access, call sim.EventFunc, ctx any, arg int64) bool
+}
+
 // BatchSyncMemoryManager is the batched extension of SyncMemoryManager.
 // AccessSyncBatch consumes a leading run of accs that all complete
 // synchronously at the current virtual time (Tier-1 hits), returning how
@@ -151,6 +163,10 @@ type GPU struct {
 	// Peek window the scalar streak obeys one access at a time.
 	batch   BatchSyncMemoryManager
 	bstream BatchStream
+	// syncCall is non-nil when mm additionally supports typed
+	// completions; misses then wake warps through warpAccessDoneEvent and
+	// no per-warp done closure is ever allocated.
+	syncCall CallSyncMemoryManager
 
 	accesses int64
 	stall    sim.Time
@@ -205,6 +221,13 @@ func warpStepEvent(ctx any, _ int64) { ctx.(*warp).step() }
 //gmt:hotpath
 func barrierReleaseEvent(ctx any, _ int64) { ctx.(*GPU).releaseParked() }
 
+// warpAccessDoneEvent is the typed completion delivered by a
+// CallSyncMemoryManager when an asynchronous access lands; ctx is the
+// stalled *warp.
+//
+//gmt:hotpath
+func warpAccessDoneEvent(ctx any, _ int64) { ctx.(*warp).accessDone() }
+
 // New returns an unlaunched GPU kernel execution.
 func New(eng *sim.Engine, cfg Config, stream Stream, mm MemoryManager) *GPU {
 	if cfg.Warps < 1 {
@@ -220,6 +243,7 @@ func (g *GPU) Launch() {
 	if g.sync != nil {
 		g.batch, _ = g.mm.(BatchSyncMemoryManager)
 		g.bstream, _ = g.stream.(BatchStream)
+		g.syncCall, _ = g.mm.(CallSyncMemoryManager)
 	}
 	g.warps = make([]warp, g.cfg.Warps)
 	g.parked = make([]*warp, 0, g.cfg.Warps)
@@ -227,7 +251,11 @@ func (g *GPU) Launch() {
 	for i := range g.warps {
 		w := &g.warps[i]
 		w.g = g
-		w.done = w.accessDone
+		if g.syncCall == nil {
+			// Typed managers never touch done; skip the per-warp
+			// method-value allocation entirely.
+			w.done = w.accessDone
+		}
 		g.active++
 		g.eng.AfterCall(0, warpStepEvent, w, 0)
 	}
@@ -271,7 +299,13 @@ func (w *warp) step() {
 			g.mm.Access(a, w.done)
 			return
 		}
-		if !g.sync.AccessSync(a, w.done) {
+		if g.syncCall != nil {
+			if !g.syncCall.AccessSyncCall(a, warpAccessDoneEvent, w, 0) {
+				// Asynchronous path taken; warpAccessDoneEvent resumes
+				// the warp with no closure in flight.
+				return
+			}
+		} else if !g.sync.AccessSync(a, w.done) {
 			// Asynchronous path taken; accessDone resumes the warp.
 			return
 		}

@@ -22,6 +22,14 @@ func NewArray(eng *sim.Engine, cfg Config, n int) *Array {
 	return a
 }
 
+// Reset returns every member drive to its freshly constructed state
+// (see Disk.Reset).
+func (a *Array) Reset() {
+	for _, d := range a.disks {
+		d.Reset()
+	}
+}
+
 // Drives reports the member count.
 func (a *Array) Drives() int { return len(a.disks) }
 

@@ -148,6 +148,8 @@ type request struct {
 // AcquireCall/AfterCall/TransferCall paths.
 
 // requestEnter runs when the submission-queue slot is granted.
+//
+//gmt:hotpath
 func requestEnter(ctx any, _ int64) {
 	r := ctx.(*request)
 	d := r.d
@@ -160,12 +162,16 @@ func requestEnter(ctx any, _ int64) {
 }
 
 // requestFetched runs when the controller has fetched the command.
+//
+//gmt:hotpath
 func requestFetched(ctx any, _ int64) {
 	r := ctx.(*request)
 	r.d.chans.AcquireCall(requestService, r, 0)
 }
 
 // requestService runs when a flash channel is granted.
+//
+//gmt:hotpath
 func requestService(ctx any, _ int64) {
 	r := ctx.(*request)
 	d := r.d
@@ -191,6 +197,8 @@ func requestService(ctx any, _ int64) {
 
 // requestReadMedia runs after the media read latency: stream the data
 // off the media at its byte rate.
+//
+//gmt:hotpath
 func requestReadMedia(ctx any, _ int64) {
 	r := ctx.(*request)
 	r.d.read.TransferCall(r.cmd.Bytes, requestLinkDown, r, 0)
@@ -198,6 +206,8 @@ func requestReadMedia(ctx any, _ int64) {
 
 // requestLinkDown streams read data across the drive link toward the
 // requester.
+//
+//gmt:hotpath
 func requestLinkDown(ctx any, _ int64) {
 	r := ctx.(*request)
 	r.d.link.Down.TransferCall(r.cmd.Bytes, requestFinish, r, 0)
@@ -205,18 +215,24 @@ func requestLinkDown(ctx any, _ int64) {
 
 // requestBuffered runs when write data has landed in the drive buffer:
 // wait out the program latency.
+//
+//gmt:hotpath
 func requestBuffered(ctx any, _ int64) {
 	r := ctx.(*request)
 	r.d.eng.AfterCall(r.d.cfg.WriteLatency, requestWriteMedia, r, 0)
 }
 
 // requestWriteMedia programs write data to media at its byte rate.
+//
+//gmt:hotpath
 func requestWriteMedia(ctx any, _ int64) {
 	r := ctx.(*request)
 	r.d.write.TransferCall(r.cmd.Bytes, requestFinish, r, 0)
 }
 
 // requestFinish posts the completion entry and recycles the request.
+//
+//gmt:hotpath
 func requestFinish(ctx any, _ int64) {
 	r := ctx.(*request)
 	d := r.d
@@ -239,8 +255,13 @@ func requestFinish(ctx any, _ int64) {
 	}
 }
 
-// newRequest pops a pooled request or allocates one; pool misses are
-// amortized away by reuse.
+// requestChunkSize is the pool-miss growth quantum: a miss carves a
+// whole chunk of requests so the pool grows in O(peak/chunk) allocations
+// rather than one heap object per outstanding command.
+const requestChunkSize = 32
+
+// newRequest pops a pooled request or carves a fresh chunk; pool misses
+// are amortized away by reuse.
 //
 //gmt:coldpath
 func (d *Disk) newRequest() *request {
@@ -249,7 +270,14 @@ func (d *Disk) newRequest() *request {
 		d.pool = d.pool[:n-1]
 		return r
 	}
-	return &request{d: d}
+	chunk := make([]request, requestChunkSize)
+	for i := range chunk {
+		chunk[i].d = d
+		d.pool = append(d.pool, &chunk[i])
+	}
+	r := d.pool[len(d.pool)-1]
+	d.pool = d.pool[:len(d.pool)-1]
+	return r
 }
 
 // New returns a disk attached to eng.
@@ -276,6 +304,28 @@ func New(eng *sim.Engine, cfg Config) *Disk {
 
 // Config reports the drive configuration.
 func (d *Disk) Config() Config { return d.cfg }
+
+// Reset returns an idle drive to its freshly constructed state,
+// retaining the request pool (requests hold only the disk pointer, which
+// is stable) so a recycled drive issues commands with zero allocations
+// from the first one. It panics if commands are in flight.
+func (d *Disk) Reset() {
+	if n := d.InFlight(); n != 0 {
+		panic(fmt.Sprintf("nvme: Reset with %d commands in flight", n))
+	}
+	for _, q := range d.queues {
+		q.Reset()
+	}
+	d.next = 0
+	d.chans.Reset()
+	d.read.Reset()
+	d.write.Reset()
+	d.link.Reset()
+	d.reads, d.writes = 0, 0
+	d.readBytes, d.writeBytes = 0, 0
+	d.latencySum = 0
+	d.completions = 0
+}
 
 // Submit issues cmd on the next queue pair (round-robin). done, if
 // non-nil, runs when the completion entry is posted. Submission blocks

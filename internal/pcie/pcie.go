@@ -57,6 +57,13 @@ func NewLinkRate(eng *sim.Engine, lanes int, laneBytesPerS int64, latency sim.Ti
 	}
 }
 
+// Reset returns both directions to their freshly constructed state
+// (runtime recycling; the engine must be drained first).
+func (l *Link) Reset() {
+	l.Up.Reset()
+	l.Down.Reset()
+}
+
 // CheckInvariants asserts per-direction bandwidth conservation: the
 // cumulative transfer time granted on a direction can never exceed the
 // window the pipe has committed (now + backlog), i.e. grants never run

@@ -158,6 +158,46 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns a quiescent engine to the state NewEngine constructs,
+// retaining the event-record arena so the next run schedules into
+// already-allocated records instead of re-growing the pool. It panics if
+// events are pending: like Snapshot, a reset is only defined at
+// quiescence, where the wheel and the overflow ladder are structurally
+// empty and the clock plus counters are the entire state.
+//
+// The free list keeps whatever pop order the previous run left it in.
+// That is behavior-neutral: record indices only name storage; dispatch
+// order is fully determined by (time, sequence) and slot list order, so
+// a reset engine replays any schedule bit-identically to a fresh one
+// (pinned by TestEngineResetReplaysIdentically).
+func (e *Engine) Reset() {
+	if e.pending != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d events pending", e.pending))
+	}
+	if invariant.Enabled {
+		for lvl := 0; lvl < wheelLevels; lvl++ {
+			for w, word := range e.occ[lvl] {
+				invariant.Assert(word == 0,
+					"sim: Reset found occupied wheel slots at level %d word %d with nothing pending", lvl, w)
+			}
+		}
+		invariant.Assert(len(e.free) == len(e.recs),
+			"sim: Reset found %d free of %d records with nothing pending", len(e.free), len(e.recs))
+	}
+	e.now, e.cur = 0, 0
+	e.seq, e.steps = 0, 0
+	e.overflow = e.overflow[:0]
+	e.overflowMin = 0
+	e.peekAt, e.peekOK = 0, false
+	e.acquired, e.released = 0, 0
+	// Sweep retained callback references (a drain via RunUntil does not
+	// sweep the arena the way Run does), so nothing scheduled in the
+	// previous run outlives it through the free list.
+	for i := range e.recs {
+		e.recs[i].call, e.recs[i].ctx, e.recs[i].fn = nil, nil, nil
+	}
+}
+
 // Snapshot is the compact state of a quiescent engine: with no events
 // pending, the wheel, the overflow ladder, and the record arena are all
 // structurally empty, so the clock and the determinism counters are the

@@ -96,6 +96,23 @@ func (s *Server) Release() {
 	s.busy--
 }
 
+// Reset returns an idle server to its freshly constructed state,
+// retaining the waiter queue's backing array. It panics if holds are
+// still out or waiters are queued: resets are only defined at
+// quiescence (mirroring Engine.Reset).
+func (s *Server) Reset() {
+	if s.busy != 0 || s.Queued() != 0 {
+		panic(fmt.Sprintf("sim: Reset of a server with %d holds and %d waiters", s.busy, s.Queued()))
+	}
+	for i := range s.waiters {
+		s.waiters[i] = waiter{}
+	}
+	s.waiters = s.waiters[:0]
+	s.head = 0
+	s.grants = 0
+	s.maxWait = 0
+}
+
 // Use acquires the server, holds it for d, then runs done after releasing.
 func (s *Server) Use(d Time, done func()) {
 	s.Acquire(func() {
@@ -243,6 +260,16 @@ func (p *Pipe) transfer(n int64, occ Time, call EventFunc, ctx any, arg int64) {
 	// Typed path: completion callbacks are on the per-transfer hot path
 	// and ride AtCall without a wrapping closure.
 	p.eng.AtCall(end, call, ctx, arg)
+}
+
+// Reset returns the pipe to its freshly constructed state: no pending
+// commitment, cleared occupancy memo, zeroed counters. The caller must
+// have drained the engine first (an in-flight transfer's completion
+// event would otherwise fire against the reset pipe's accounting).
+func (p *Pipe) Reset() {
+	p.freeAt = 0
+	p.memoN, p.memoOcc = 0, 0
+	p.bytes, p.transfers, p.busy = 0, 0, 0
 }
 
 // Backlog reports how far in the future the pipe is already committed.

@@ -118,6 +118,81 @@ func TestStoreConformance(t *testing.T) {
 	}
 }
 
+// storeScript runs a deterministic seeded churn through s and returns
+// everything observable about its behavior: every victim offered, every
+// Remove result, and the final Each order. Two stores with identical
+// scripts are behaviorally indistinguishable to the runtime.
+func storeScript(s Store, seed int64) []PageID {
+	rng := rand.New(rand.NewSource(seed))
+	s.Reserve(128)
+	var log []PageID
+	live := map[PageID]bool{}
+	for op := 0; op < 2000; op++ {
+		p := PageID(rng.Intn(128))
+		switch {
+		case live[p]:
+			if rng.Intn(2) == 0 {
+				if s.Remove(p) {
+					log = append(log, p)
+				}
+				delete(live, p)
+			} else if tc, ok := s.(interface{ Touch(PageID) }); ok {
+				tc.Touch(p)
+			}
+		case s.Full():
+			v := s.Victim()
+			log = append(log, v)
+			s.Remove(v)
+			delete(live, v)
+		default:
+			s.Insert(p)
+			live[p] = true
+		}
+	}
+	s.Each(func(p PageID) { log = append(log, p) })
+	return log
+}
+
+// TestStoreResetEqualsFresh pins the Reset half of the conformance
+// contract (tier.Store doc): a churned store, Reset, must replay a
+// deterministic script with exactly the victim sequence, Remove results,
+// and Each order of a freshly constructed store — retained capacity
+// (index arrays, rebuilt free lists, ghost rings) must be invisible.
+func TestStoreResetEqualsFresh(t *testing.T) {
+	for _, im := range storeImpls() {
+		im := im
+		t.Run(im.name, func(t *testing.T) {
+			want := storeScript(im.mk(16), 11)
+
+			s := im.mk(16)
+			storeScript(s, 99) // churn with a different workload
+			s.Reset()
+			if s.Len() != 0 || s.Full() {
+				t.Fatalf("Reset left len=%d full=%v", s.Len(), s.Full())
+			}
+			got := storeScript(s, 11)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("reset store diverged from fresh:\nfresh: %v\nreset: %v", want, got)
+			}
+
+			// Reset must also recover a store abandoned mid-rejection
+			// (hand position, cleared reference bits are run-local state).
+			s2 := im.mk(16)
+			for p := PageID(0); p < 16; p++ {
+				s2.Insert(p)
+			}
+			v := s2.Victim()
+			if rj, ok := s2.(interface{ Reject(PageID) }); ok {
+				rj.Reject(v)
+			}
+			s2.Reset()
+			if fmt.Sprint(storeScript(s2, 11)) != fmt.Sprint(want) {
+				t.Fatal("reset after mid-eviction abandonment diverged from fresh")
+			}
+		})
+	}
+}
+
 // TestEachInsertionOrderIndependent pins the satellite contract: for the
 // same resident set, Each yields the same (ascending) sequence no
 // matter which order built the set and no matter which policy holds it.

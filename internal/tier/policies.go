@@ -145,6 +145,23 @@ func (l *LRUK) Reserve(n int) {
 	l.prev = np
 }
 
+// Reset empties the set and erases all retained reference history,
+// reproducing NewLRUK's state (clock at zero, empty heap) while
+// retaining the history arrays' capacity. History must not survive a
+// reset: a recycled store serves an unrelated run, and stale stamps
+// would order its victims.
+func (l *LRUK) Reset() {
+	l.clock = 0
+	for i := range l.resident {
+		l.resident[i] = false
+		l.last[i] = 0
+		l.prev[i] = 0
+	}
+	l.n = 0
+	l.lastVictim = NoPage
+	l.heap = l.heap[:0]
+}
+
 func (l *LRUK) isResident(p PageID) bool {
 	return p >= 0 && int64(p) < int64(len(l.resident)) && l.resident[p]
 }
@@ -435,6 +452,26 @@ func (q *TwoQ) Reserve(n int) {
 	nh := make([]bool, n)
 	copy(nh, q.hot)
 	q.hot = nh
+}
+
+// Reset empties both queues and the ghost ring, reproducing NewTwoQ's
+// state while retaining the link arrays' capacity. Ghost-ring hotness is
+// retained history and must not survive a reset (see LRUK.Reset).
+func (q *TwoQ) Reset() {
+	for i := range q.where {
+		q.where[i] = twoQNone
+		q.next[i] = 0
+		q.prevLink[i] = 0
+		q.hot[i] = false
+	}
+	for i := range q.ghost {
+		q.ghost[i] = NoPage
+	}
+	q.ghostPos = 0
+	q.inHead, q.inTail = NoPage, NoPage
+	q.mainHead, q.mainTail = NoPage, NoPage
+	q.inLen, q.mainLen = 0, 0
+	q.lastVictim = NoPage
 }
 
 func (q *TwoQ) list(p PageID) twoQList {

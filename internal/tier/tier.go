@@ -65,6 +65,15 @@ type Store interface {
 	// Reserve presizes the page-ID index for a workload footprint of n
 	// pages, so the hot path never grows it mid-run.
 	Reserve(n int)
+	// Reset empties the store, restoring the behavior of a freshly
+	// constructed store of the same capacity while retaining allocated
+	// index storage (runtime recycling). "Behavior" is the full contract:
+	// after Reset, any operation sequence must produce the same victim
+	// choices and iteration order a fresh store would — no retained
+	// reference history, hand position, or queue state may leak through
+	// (the conformance suite's reset-equals-fresh subtest pins this for
+	// every implementation).
+	Reset()
 	// Len and Capacity report occupancy; Full is Len() == Capacity().
 	Len() int
 	Capacity() int
@@ -171,6 +180,29 @@ func NewClock(capacity int) *Clock {
 func (c *Clock) Reserve(n int) {
 	if int64(n) > int64(len(c.index.v)) {
 		c.index.grow(int64(n))
+	}
+}
+
+// Reset empties the clock, reproducing NewClock's state exactly — free
+// slots pop in ascending order, hand at zero, all bits clear — while
+// retaining the slot arrays and the page index's capacity.
+func (c *Clock) Reset() {
+	for i := range c.slots {
+		c.slots[i] = NoPage
+	}
+	for i := range c.ref {
+		c.ref[i] = 0
+		c.occ[i] = 0
+	}
+	c.hand = 0
+	c.n = 0
+	for i := range c.index.v {
+		c.index.v[i] = noSlot
+	}
+	capacity := len(c.slots)
+	c.free = c.free[:0]
+	for i := 0; i < capacity; i++ {
+		c.free = append(c.free, capacity-1-i) // pop order 0,1,2,...
 	}
 }
 
@@ -393,6 +425,19 @@ func (f *FIFO) Reserve(n int) {
 		copy(nv, f.resident)
 		f.resident = nv
 	}
+}
+
+// Reset empties the FIFO, reproducing NewFIFO's state — empty queue,
+// head at zero — while retaining the queue's backing array and the
+// residency index's capacity (a longer index is behavior-neutral: it
+// only changes when growth copies happen, never membership answers).
+func (f *FIFO) Reset() {
+	for i := range f.resident {
+		f.resident[i] = false
+	}
+	f.queue = f.queue[:0]
+	f.head = 0
+	f.n = 0
 }
 
 func (f *FIFO) isResident(p PageID) bool {

@@ -15,6 +15,9 @@
 package xfer
 
 import (
+	"fmt"
+
+	"github.com/gmtsim/gmt/internal/invariant"
 	"github.com/gmtsim/gmt/internal/pcie"
 	"github.com/gmtsim/gmt/internal/sim"
 )
@@ -152,6 +155,14 @@ type Engine struct {
 	pagesDown   int64
 
 	pool []*move // recycled per-move records
+
+	// Pool conservation counters: every MovePageCall acquires one move
+	// record and every completion releases it. They must balance at
+	// quiescence (asserted by Reset under -tags gmtinvariants and by the
+	// pool-conservation test), so a leaked record fails loudly instead of
+	// silently re-growing the pool.
+	acquired int64
+	released int64
 }
 
 // move carries one page transfer through its stages. Moves are pooled on
@@ -167,12 +178,16 @@ type move struct {
 
 // moveEnter runs when the copy engine is granted (DMA path): the launch
 // serializes on the engine; data then streams on the link.
+//
+//gmt:hotpath
 func moveEnter(ctx any, _ int64) {
 	m := ctx.(*move)
 	m.e.eng.AfterCall(m.e.cfg.DMALaunch, moveLaunched, m, 0)
 }
 
 // moveLaunched runs after the DMA launch overhead.
+//
+//gmt:hotpath
 func moveLaunched(ctx any, _ int64) {
 	m := ctx.(*move)
 	m.e.dma.Release()
@@ -181,16 +196,21 @@ func moveLaunched(ctx any, _ int64) {
 
 // movePinned runs after the zero-copy pin share; arg carries the
 // thread-limited byte rate.
+//
+//gmt:hotpath
 func movePinned(ctx any, rate int64) {
 	m := ctx.(*move)
 	m.pipe.TransferLimitedCall(m.e.cfg.PageSize, rate, moveFinish, m, 0)
 }
 
 // moveFinish recycles the move and runs the completion callback.
+//
+//gmt:hotpath
 func moveFinish(ctx any, _ int64) {
 	m := ctx.(*move)
 	e := m.e
 	e.outstanding--
+	e.released++
 	call, cctx, carg := m.call, m.ctx, m.arg
 	m.call, m.ctx, m.pipe = nil, nil, nil
 	e.pool = append(e.pool, m)
@@ -199,17 +219,29 @@ func moveFinish(ctx any, _ int64) {
 	}
 }
 
-// newMove pops a pooled move or allocates one; pool misses are amortized
-// away by reuse.
+// moveChunkSize is the pool-miss growth quantum: a miss carves a whole
+// chunk of moves so the pool grows in O(peak/chunk) allocations rather
+// than one heap object per concurrent transfer.
+const moveChunkSize = 16
+
+// newMove pops a pooled move or carves a fresh chunk; pool misses are
+// amortized away by reuse.
 //
 //gmt:coldpath
 func (e *Engine) newMove() *move {
-	if n := len(e.pool); n > 0 {
-		m := e.pool[n-1]
-		e.pool = e.pool[:n-1]
-		return m
+	e.acquired++
+	n := len(e.pool)
+	if n == 0 {
+		chunk := make([]move, moveChunkSize)
+		for i := range chunk {
+			chunk[i].e = e
+			e.pool = append(e.pool, &chunk[i])
+		}
+		n = len(e.pool)
 	}
-	return &move{e: e}
+	m := e.pool[n-1]
+	e.pool = e.pool[:n-1]
+	return m
 }
 
 // NewEngine returns a transfer engine over link.
@@ -222,6 +254,29 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Outstanding reports in-flight Tier-1↔Tier-2 page transfers.
 func (e *Engine) Outstanding() int { return e.outstanding }
+
+// MoveRecords reports the pool conservation counters: records acquired
+// from and released back to the move pool since construction (or the
+// last Reset). At quiescence the two must be equal.
+func (e *Engine) MoveRecords() (acquired, released int64) {
+	return e.acquired, e.released
+}
+
+// Reset returns an idle transfer engine to its freshly constructed
+// state, retaining the move pool (moves hold only the engine pointer,
+// which is stable). It panics if transfers are outstanding, and asserts
+// move-pool conservation under -tags gmtinvariants.
+func (e *Engine) Reset() {
+	if e.outstanding != 0 {
+		panic(fmt.Sprintf("xfer: Reset with %d transfers outstanding", e.outstanding))
+	}
+	invariant.Assert(e.acquired == e.released,
+		"xfer: move pool leak: %d records acquired, %d released", e.acquired, e.released)
+	e.dma.Reset()
+	e.dmaCount, e.zcCount = 0, 0
+	e.pagesUp, e.pagesDown = 0, 0
+	e.acquired, e.released = 0, 0
+}
 
 // MovePage transfers one page between GPU memory and host memory; up is
 // toward the host (a Tier-1 eviction into Tier-2), down is toward the GPU

@@ -157,6 +157,63 @@ func TestEngineOutstandingTracking(t *testing.T) {
 	}
 }
 
+// TestMovePoolConservation pins the free-listed move records' accounting:
+// every record acquired by MovePage is released back to the pool when its
+// transfer completes, so a drained engine has acquired == released and a
+// long sweep reuses a bounded record set instead of leaking per-move
+// allocations. (Under -tags gmtinvariants, Reset re-asserts the same.)
+func TestMovePoolConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	link := pcie.NewLink(eng, 16)
+	e := NewEngine(eng, link, DefaultConfig())
+	const n = 500
+	done := 0
+	for i := 0; i < n; i++ {
+		// Mix directions, batch sizes (DMA vs zero-copy), and nil vs
+		// non-nil completions so every move variant returns its record.
+		var fn func()
+		if i%3 == 0 {
+			fn = func() { done++ }
+		}
+		e.MovePage(i%2 == 0, 1+i%64, fn)
+	}
+	acq, rel := e.MoveRecords()
+	if acq != n {
+		t.Fatalf("acquired = %d, want %d", acq, n)
+	}
+	if rel != 0 {
+		t.Fatalf("released before Run = %d, want 0", rel)
+	}
+	eng.Run()
+	acq, rel = e.MoveRecords()
+	if acq != n || rel != n {
+		t.Fatalf("after drain acquired=%d released=%d, want %d,%d", acq, rel, n, n)
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", e.Outstanding())
+	}
+	// The pool holds every record ever carved: a second burst of the same
+	// size must not grow acquisition beyond reuse (acquired counts uses,
+	// not allocations — conservation is acquired == released at drain).
+	for i := 0; i < n; i++ {
+		e.MovePage(false, 8, nil)
+	}
+	eng.Run()
+	acq, rel = e.MoveRecords()
+	if acq != 2*n || rel != 2*n {
+		t.Fatalf("second burst: acquired=%d released=%d, want %d,%d", acq, rel, 2*n, 2*n)
+	}
+
+	// Reset zeroes the conservation counters with the engine quiescent.
+	e.Reset()
+	if acq, rel := e.MoveRecords(); acq != 0 || rel != 0 {
+		t.Fatalf("after Reset acquired=%d released=%d, want 0,0", acq, rel)
+	}
+	if s := e.Stats(); s.PagesUp != 0 || s.PagesDown != 0 || s.DMATransfers != 0 || s.ZeroCopyTransfers != 0 {
+		t.Fatalf("after Reset stats = %+v, want zeroes", s)
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	if DMA.String() != "cudaMemcpyAsync" || ZeroCopy.String() != "zero-copy" {
 		t.Fatal("method strings wrong")
