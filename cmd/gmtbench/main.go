@@ -70,6 +70,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
 	"github.com/gmtsim/gmt/internal/buildinfo"
@@ -149,6 +150,35 @@ type benchExperiment struct {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// workerFairness renders the pool's per-worker busy profile for the
+// human-readable output (the JSON report carries the same data as
+// worker_busy_ms). Skew is max/min busy time — the at-a-glance signal
+// that a long-tail job pinned one worker while the rest idled. Empty
+// for a single-worker pool, where there is nothing to compare.
+func workerFairness(busyNS []int64) string {
+	if len(busyNS) < 2 {
+		return ""
+	}
+	min, max := busyNS[0], busyNS[0]
+	var b strings.Builder
+	b.WriteString("  worker busy:")
+	for _, ns := range busyNS {
+		if ns < min {
+			min = ns
+		}
+		if ns > max {
+			max = ns
+		}
+		fmt.Fprintf(&b, " %v", time.Duration(ns).Round(time.Millisecond))
+	}
+	if min <= 0 {
+		b.WriteString(" (idle worker)")
+	} else {
+		fmt.Fprintf(&b, " (skew %.2fx)", float64(max)/float64(min))
+	}
+	return b.String()
+}
 
 // finalizeReport fills the derived fields of a v1 report from its
 // measured parts. The sequential estimate is every experiment's wall
@@ -325,9 +355,13 @@ func main() {
 		}
 		prewarm = &rep
 		if !*jsonOut {
-			fmt.Printf("prewarmed %d jobs on %d workers: %d simulations, %d memo hits [%v]\n\n",
+			fmt.Printf("prewarmed %d jobs on %d workers: %d simulations, %d memo hits [%v]\n",
 				rep.JobsPlanned, rep.Workers, rep.Sims, rep.CacheHits,
 				time.Duration(rep.WallNS).Round(time.Millisecond))
+			if line := workerFairness(rep.WorkerBusyNS); line != "" {
+				fmt.Printf("%s\n", line)
+			}
+			fmt.Println()
 		}
 	}
 

@@ -98,6 +98,42 @@ func Prewarm(ctx context.Context, s *Suite, experiments []string, workers int, c
 	return rep, err
 }
 
+// PoolReport summarizes one RunJobs invocation: the summed per-job busy
+// time and each worker's share of it. It is pool telemetry (wall time),
+// deliberately separate from simulation results so deterministic
+// outputs never embed it.
+type PoolReport struct {
+	Workers      int
+	BusyNS       int64
+	WorkerBusyNS []int64
+}
+
+// RunJobs executes an ad-hoc job list on the worker pool — the entry
+// point for callers outside this package (internal/fleet fans per-node
+// simulations out through it) that plan their own jobs rather than
+// going through Suite/Plan. The determinism contract is the caller's:
+// jobs must write results into caller-owned slots keyed by job index so
+// output is independent of completion order. The clock is injected for
+// the same reason as Prewarm's; nil leaves timings zero. Cancellation
+// and panic semantics match Prewarm.
+//
+//gmt:blocking
+func RunJobs(ctx context.Context, jobs []Job, workers int, clock func() int64) (PoolReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	rep := PoolReport{Workers: workers, WorkerBusyNS: make([]int64, workers)}
+	busy, err := runJobs(ctx, jobs, workers, clock, rep.WorkerBusyNS)
+	rep.BusyNS = busy
+	return rep, err
+}
+
 // runJobs drains the job list on a bounded worker pool and returns the
 // summed per-job busy time; each worker additionally accumulates its own
 // job time into workerBusy[i] (workers beyond len(jobs) never start and

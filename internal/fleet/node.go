@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/gmtsim/gmt/internal/core"
+	"github.com/gmtsim/gmt/internal/gpu"
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/stats"
+	"github.com/gmtsim/gmt/internal/tier"
+)
+
+// Decode cadence constants, matching the KV-serving workload's shape:
+// one generated KV page per stepsPerPage decode steps, a full prefix
+// re-read every prefixStride steps (off-steps touch only the resident
+// prefix head), and a recentWindow-page context re-read per step.
+const (
+	stepsPerPage = 8
+	prefixStride = 4
+	recentWindow = 8
+)
+
+// prefixPages is the per-prefix KV footprint for a node class: scaled
+// to its Tier-1 so the prefix pool pressures the hierarchy comparably
+// across templates.
+func (t Template) prefixPages() int {
+	p := t.Tier1Pages / 64
+	if p < 8 {
+		p = 8
+	}
+	return p
+}
+
+// nodeOutcome is one node's simulation result: tiering counters, the
+// exact latency distribution of its requests, and the instant its last
+// request completed (the node's makespan).
+type nodeOutcome struct {
+	run      stats.Run
+	latency  stats.Digest
+	requests int
+	lastDone sim.Time
+}
+
+// buildNodeTrace lays the node's routed requests out as one access
+// trace with per-request segment boundaries. Page layout: the shared
+// prefix pool (replicated on every node) occupies the low pages; each
+// request's prompt and generated KV pages are carved off a private
+// cursor above it. The trace is a pure function of (template, stream
+// shape, routed sub-stream) — no randomness.
+//
+// segs[i] is the end (exclusive) trace index of request i.
+func buildNodeTrace(tpl Template, stream StreamConfig, reqs []Request) (trace []gpu.Access, segs []int, footprint int64) {
+	pp := tpl.prefixPages()
+	cursor := int64(stream.Prefixes * pp)
+	segs = make([]int, len(reqs))
+	read := func(p int64) { trace = append(trace, gpu.Access{Page: tier.PageID(p)}) }
+	write := func(p int64) { trace = append(trace, gpu.Access{Page: tier.PageID(p), Write: true}) }
+	for i, r := range reqs {
+		prefixStart := int64(r.Prefix) * int64(pp)
+		readPrefix := func() {
+			for p := 0; p < pp; p++ {
+				read(prefixStart + int64(p))
+			}
+		}
+		promptLen := int(r.PromptPages)
+		promptStart := cursor
+		cursor += int64(promptLen)
+		genLen := int(r.DecodeSteps) / stepsPerPage
+		genStart := cursor
+		cursor += int64(genLen)
+		ctxPage := func(i int) int64 {
+			if i < promptLen {
+				return promptStart + int64(i)
+			}
+			return genStart + int64(i-promptLen)
+		}
+
+		// Prefill: attend over the shared prefix, append the prompt KV.
+		readPrefix()
+		for p := int64(0); p < int64(promptLen); p++ {
+			write(promptStart + p)
+		}
+		// Decode: re-read the recent context window each step; the full
+		// prefix and older context only on full-attention steps.
+		for k := 0; k < int(r.DecodeSteps); k++ {
+			filled := k / stepsPerPage
+			ctx := promptLen + filled
+			full := k%prefixStride == 0
+			if full {
+				readPrefix()
+			} else {
+				read(prefixStart)
+			}
+			lo := 0
+			if !full && ctx > recentWindow {
+				lo = ctx - recentWindow
+			}
+			for j := lo; j < ctx; j++ {
+				read(ctxPage(j))
+			}
+			if (k+1)%stepsPerPage == 0 && filled < genLen {
+				write(genStart + int64(filled))
+			}
+		}
+		segs[i] = len(trace)
+	}
+	return trace, segs, cursor
+}
+
+// simulateNode services the node's routed sub-stream on one recycled
+// {engine, runtime} pair: each request's kernel runs to completion on
+// the node's single deterministic engine (its service time is the
+// kernel's simulated span) and a FIFO queue converts open-loop arrival
+// instants plus service times into per-request latencies. Everything
+// here is simulated time — the determinism root the fleet's
+// byte-identical contract hangs off, so detflow verifies no wall
+// clock, global randomness, or cross-goroutine communication is
+// reachable from it.
+//
+//gmt:detroot
+func simulateNode(eng *sim.Engine, rt *core.Runtime, gcfg gpu.Config, trace []gpu.Access, segs []int, reqs []Request) nodeOutcome {
+	var (
+		latencies []sim.Time
+		lastDone  sim.Time
+		compute   sim.Time
+		stall     sim.Time
+	)
+	start := 0
+	for i, r := range reqs {
+		seg := trace[start:segs[i]]
+		start = segs[i]
+		t0 := eng.Now()
+		g := gpu.New(eng, gcfg, &gpu.SliceStream{Trace: seg}, rt)
+		g.Launch()
+		eng.Run()
+		if !g.Done() {
+			panic(fmt.Sprintf("fleet: request %d did not finish", r.ID))
+		}
+		service := eng.Now() - t0
+		compute += g.ComputeTime()
+		stall += g.StallTime()
+
+		begin := r.Arrive
+		if lastDone > begin {
+			begin = lastDone
+		}
+		done := begin + service
+		lastDone = done
+		latencies = append(latencies, done-r.Arrive)
+	}
+	m := rt.Snapshot()
+	m.App = "fleet-node"
+	m.WallTime = lastDone
+	m.WarpComputeNS = int64(compute)
+	m.WarpStallNS = int64(stall)
+	return nodeOutcome{
+		run:      m,
+		latency:  stats.NewDigest(latencies),
+		requests: len(reqs),
+		lastDone: lastDone,
+	}
+}

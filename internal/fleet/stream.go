@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"github.com/gmtsim/gmt/internal/sim"
+	"github.com/gmtsim/gmt/internal/workload"
+)
+
+// StreamConfig parameterizes the fleet's shared open-loop request
+// stream: a seeded Poisson process over the multi-period rate schedule
+// the KV-serving workload introduced, with per-request shapes drawn
+// from the same seeded generator. The stream is generated once for the
+// whole fleet and routed; it is a pure function of this config.
+type StreamConfig struct {
+	// Requests is the total request count across the fleet.
+	Requests int
+
+	// Arrivals drives the open-loop arrival process (requests/second,
+	// burst multipliers, period).
+	Arrivals workload.RateSchedule
+
+	// Seed drives every stream draw (arrivals and request shapes).
+	Seed int64
+
+	// Prefixes counts the distinct shared prompt prefixes; every node
+	// holds a replica of the prefix pool (system prompts are shipped
+	// with the model), so requests attend to their prefix locally.
+	Prefixes int
+
+	// Per-request shape bounds, drawn uniformly (inclusive).
+	MinPromptPages, MaxPromptPages int
+	MinDecodeSteps, MaxDecodeSteps int
+}
+
+// Request is one routed unit of work: a conversation with a prompt
+// prefilled against a shared prefix and a decode phase, arriving at a
+// fixed open-loop instant.
+type Request struct {
+	ID          int32
+	Arrive      sim.Time
+	Prefix      int32
+	PromptPages int32
+	DecodeSteps int32
+}
+
+// DefaultStream sizes the shared stream for an n-node fleet: request
+// volume and base rate scale with n so per-node load stays comparable
+// across fleet sizes, while the burst schedule keeps the peak-to-trough
+// ratio fixed.
+func DefaultStream(n int) StreamConfig {
+	return StreamConfig{
+		Requests: 24 * n,
+		Arrivals: workload.RateSchedule{
+			Base:      8 * float64(n),
+			Mult:      []float64{1, 4, 1, 0.25},
+			PeriodSec: 30,
+		},
+		Seed:           42,
+		Prefixes:       8,
+		MinPromptPages: 4,
+		MaxPromptPages: 16,
+		MinDecodeSteps: 16,
+		MaxDecodeSteps: 48,
+	}
+}
+
+// GenerateStream materializes the shared request stream. Draws happen
+// in a fixed per-request order (arrival, prefix, prompt, decode), so
+// the stream — and every sub-stream a router splits from it — is
+// byte-identical for a given config regardless of fleet size, worker
+// count, or call site.
+//
+//gmt:detroot
+func GenerateStream(cfg StreamConfig) []Request {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Request, cfg.Requests)
+	t := 0.0
+	for i := range out {
+		t = cfg.Arrivals.Next(rng, t)
+		out[i] = Request{
+			ID:          int32(i),
+			Arrive:      sim.Time(t * 1e9),
+			Prefix:      int32(rng.Intn(cfg.Prefixes)),
+			PromptPages: int32(cfg.MinPromptPages + rng.Intn(cfg.MaxPromptPages-cfg.MinPromptPages+1)),
+			DecodeSteps: int32(cfg.MinDecodeSteps + rng.Intn(cfg.MaxDecodeSteps-cfg.MinDecodeSteps+1)),
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/gmtsim/gmt"
 	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/fleet"
 	"github.com/gmtsim/gmt/internal/tier"
 	"github.com/gmtsim/gmt/internal/workload"
 )
@@ -32,10 +33,12 @@ const (
 // and Sim must be set, matching Kind.
 type SubmitRequest struct {
 	// Kind selects the job type: "experiment" (a named gmtbench
-	// experiment) or "sim" (a single app×policy run à la gmtsim).
+	// experiment), "sim" (a single app×policy run à la gmtsim), or
+	// "fleet" (a fleet-scale run à la gmtfleet).
 	Kind       string             `json:"kind"`
 	Experiment *ExperimentRequest `json:"experiment,omitempty"`
 	Sim        *SimRequest        `json:"sim,omitempty"`
+	Fleet      *FleetRequest      `json:"fleet,omitempty"`
 	// TimeoutMS, when positive, bounds the job's execution: the
 	// deadline is observed between the job's internal pool jobs (an
 	// in-progress simulation always completes), and an expired job
@@ -56,6 +59,19 @@ type ExperimentRequest struct {
 	// DatasetSeed varies dataset synthesis (gmtbench's -dataseed);
 	// zero takes the default seed 42.
 	DatasetSeed int64 `json:"dataset_seed,omitempty"`
+}
+
+// FleetRequest runs a fleet simulation with cmd/gmtfleet's knobs; zero
+// values take the CLI defaults, so the result bytes equal
+// `gmtfleet -nodes N -json`.
+type FleetRequest struct {
+	Nodes       int     `json:"nodes"`
+	Templates   string  `json:"templates,omitempty"`
+	Router      string  `json:"router,omitempty"`
+	Requests    int     `json:"requests,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Tier2Policy string  `json:"t2policy,omitempty"`
 }
 
 // SimRequest runs one application under one configuration. A nil
@@ -161,8 +177,13 @@ func (s *Server) buildJob(reqCtx context.Context, req *SubmitRequest) (*job, err
 			return nil, fmt.Errorf("kind %q requires a %q object", req.Kind, req.Kind)
 		}
 		key, run, err = s.buildSim(req.Sim)
+	case "fleet":
+		if req.Fleet == nil {
+			return nil, fmt.Errorf("kind %q requires a %q object", req.Kind, req.Kind)
+		}
+		key, run, err = s.buildFleet(req.Fleet)
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want \"experiment\" or \"sim\")", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want \"experiment\", \"sim\", or \"fleet\")", req.Kind)
 	}
 	if err != nil {
 		return nil, err
@@ -309,6 +330,42 @@ func (s *Server) buildSim(req *SimRequest) (string, func(context.Context) ([]byt
 			return nil, err
 		}
 		return append(data, '\n'), nil
+	}
+	return key, run, nil
+}
+
+// buildFleet resolves a fleet request through the same Options path as
+// cmd/gmtfleet, so a served fleet result is byte-equal to the CLI's
+// -json output. A bad spec (unknown template, router, or policy) is a
+// 400 at submit.
+func (s *Server) buildFleet(req *FleetRequest) (string, func(context.Context) ([]byte, error), error) {
+	cfg, err := fleet.FromOptions(fleet.Options{
+		Nodes:       req.Nodes,
+		Templates:   req.Templates,
+		Router:      req.Router,
+		Requests:    req.Requests,
+		Rate:        req.Rate,
+		Seed:        req.Seed,
+		Tier2Policy: req.Tier2Policy,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	// The resolved config captures everything the result depends on.
+	key := fmt.Sprintf("fleet|%+v", cfg)
+	run := func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, _, err := fleet.Run(ctx, cfg, s.opts.JobParallelism, s.opts.Clock)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := fleet.EncodeResult(&buf, res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
 	}
 	return key, run, nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/gmtsim/gmt/internal/exp"
+	"github.com/gmtsim/gmt/internal/fleet"
 	"github.com/gmtsim/gmt/internal/workload"
 )
 
@@ -303,6 +304,40 @@ func TestExperimentResultMatchesCLIEncoding(t *testing.T) {
 	}
 }
 
+// TestFleetResultMatchesCLIEncoding pins the fleet job's bytes
+// contract: the served payload equals what `gmtfleet -json` prints for
+// the same spec, because both resolve through fleet.FromOptions and
+// encode through fleet.EncodeResult.
+func TestFleetResultMatchesCLIEncoding(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4, JobParallelism: 2})
+	defer s.Drain()
+
+	body := `{"kind":"fleet","fleet":{"nodes":4,"templates":"a100:3,h100:1","requests":48,"seed":3}}`
+	rec := post(t, s, body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	v := decodeStatus(t, rec)
+	waitStatus(t, s, v.ID, StatusDone)
+	got := get(t, s, "/v1/jobs/"+v.ID+"/result").Body.Bytes()
+
+	cfg, err := fleet.FromOptions(fleet.Options{Nodes: 4, Templates: "a100:3,h100:1", Requests: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := fleet.Run(nil, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := fleet.EncodeResult(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("daemon payload differs from CLI encoding\n got: %s\nwant: %s", got, want.Bytes())
+	}
+}
+
 // Regression: a partial JSON config used to replace the entire default
 // config, so a request that only named a policy reached gmt.Run with
 // Tier1Pages == 0 — the panic killed the worker goroutine and with it
@@ -345,6 +380,11 @@ func TestSubmitValidation(t *testing.T) {
 		`{"kind":"sim","sim":{"app":"BFS"},"surprise":1}`,
 		`{"kind":"sim","sim":{"app":"BFS","config":{"Tier2Policy":"mru"}}}`,
 		`{"kind":"sim","sim":{"app":"BFS","config":{"Tier1Pages":-1}}}`,
+		`{"kind":"fleet"}`,
+		`{"kind":"fleet","fleet":{"nodes":0}}`,
+		`{"kind":"fleet","fleet":{"nodes":4,"templates":"v100"}}`,
+		`{"kind":"fleet","fleet":{"nodes":4,"router":"random"}}`,
+		`{"kind":"fleet","fleet":{"nodes":4,"t2policy":"mru"}}`,
 	} {
 		if rec := post(t, s, body); rec.Code != http.StatusBadRequest {
 			t.Errorf("submit %s: want 400, got %d %s", body, rec.Code, rec.Body.String())

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"sort"
+
+	"github.com/gmtsim/gmt/internal/sim"
+)
+
+// Digest is an exact, mergeable latency distribution: a sorted
+// run-length encoding of simulated-time samples. Unlike the approximate
+// sketches serving systems use online, fleet aggregation here is
+// offline and modest in cardinality (one digest per node), so we keep
+// every distinct value and merge exactly — fleet percentiles are
+// byte-identical no matter how per-node digests are grouped or ordered,
+// which is what the parallel-determinism contract requires.
+type Digest struct {
+	vals   []sim.Time
+	counts []int64
+	total  int64
+}
+
+// NewDigest builds a digest from raw samples. The input slice is not
+// retained or modified.
+func NewDigest(samples []sim.Time) Digest {
+	if len(samples) == 0 {
+		return Digest{}
+	}
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var d Digest
+	for _, v := range sorted {
+		d.add(v, 1)
+	}
+	d.total = int64(len(sorted))
+	return d
+}
+
+// add appends a (value, count) run, coalescing with the last run when
+// the value repeats. Callers must append in non-decreasing value order.
+func (d *Digest) add(v sim.Time, n int64) {
+	if k := len(d.vals); k > 0 && d.vals[k-1] == v {
+		d.counts[k-1] += n
+		return
+	}
+	d.vals = append(d.vals, v)
+	d.counts = append(d.counts, n)
+}
+
+// Count reports the number of samples the digest summarizes.
+func (d Digest) Count() int64 { return d.total }
+
+// MergeDigests folds any number of digests into one, exactly: the
+// result is identical to a digest built from the concatenated raw
+// samples, independent of argument order or grouping.
+func MergeDigests(ds ...Digest) Digest {
+	// k-way merge of sorted runs; with one digest per fleet node a
+	// simple repeated-min scan is plenty.
+	idx := make([]int, len(ds))
+	var out Digest
+	for {
+		best := -1
+		for i, d := range ds {
+			if idx[i] >= len(d.vals) {
+				continue
+			}
+			if best < 0 || d.vals[idx[i]] < ds[best].vals[idx[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := ds[best]
+		out.add(d.vals[idx[best]], d.counts[idx[best]])
+		out.total += d.counts[idx[best]]
+		idx[best]++
+	}
+	return out
+}
+
+// Quantile reports the exact nearest-rank quantile: the smallest sample
+// value whose cumulative count reaches ceil(q·N). q is clamped to
+// [0, 1]; an empty digest reports zero.
+func (d Digest) Quantile(q float64) sim.Time {
+	if d.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(d.total))
+	if float64(rank) < q*float64(d.total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range d.counts {
+		cum += c
+		if cum >= rank {
+			return d.vals[i]
+		}
+	}
+	return d.vals[len(d.vals)-1]
+}

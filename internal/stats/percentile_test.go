@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/gmtsim/gmt/internal/sim"
+)
+
+// naiveQuantile is the reference nearest-rank implementation over raw
+// samples.
+func naiveQuantile(samples []sim.Time, q float64) sim.Time {
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int64(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestDigestMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]sim.Time, 1000)
+	for i := range samples {
+		// Coarse values force repeated runs, exercising coalescing.
+		samples[i] = sim.Time(rng.Intn(50)) * sim.Millisecond
+	}
+	d := NewDigest(samples)
+	if d.Count() != int64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", d.Count(), len(samples))
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := d.Quantile(q), naiveQuantile(samples, q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var parts []Digest
+	var all []sim.Time
+	for p := 0; p < 7; p++ {
+		n := 50 + rng.Intn(200)
+		samples := make([]sim.Time, n)
+		for i := range samples {
+			samples[i] = sim.Time(rng.Intn(100)) * sim.Microsecond
+		}
+		all = append(all, samples...)
+		parts = append(parts, NewDigest(samples))
+	}
+
+	forward := MergeDigests(parts...)
+	rev := make([]Digest, len(parts))
+	for i := range parts {
+		rev[len(parts)-1-i] = parts[i]
+	}
+	backward := MergeDigests(rev...)
+	// Pairwise regrouping: ((0,1),(2,3),...) then fold.
+	var grouped []Digest
+	for i := 0; i < len(parts); i += 2 {
+		if i+1 < len(parts) {
+			grouped = append(grouped, MergeDigests(parts[i], parts[i+1]))
+		} else {
+			grouped = append(grouped, parts[i])
+		}
+	}
+	regrouped := MergeDigests(grouped...)
+
+	ref := NewDigest(all)
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		want := ref.Quantile(q)
+		for name, d := range map[string]Digest{
+			"forward": forward, "backward": backward, "regrouped": regrouped,
+		} {
+			if d.Count() != ref.Count() {
+				t.Fatalf("%s Count = %d, want %d", name, d.Count(), ref.Count())
+			}
+			if got := d.Quantile(q); got != want {
+				t.Errorf("%s Quantile(%v) = %v, want %v", name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDigestEdgeCases(t *testing.T) {
+	var empty Digest
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	one := NewDigest([]sim.Time{42})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := one.Quantile(q); got != 42 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	merged := MergeDigests(empty, one, empty)
+	if merged.Count() != 1 || merged.Quantile(0.99) != 42 {
+		t.Errorf("merge with empties: Count=%d Quantile=%v", merged.Count(), merged.Quantile(0.99))
+	}
+}

@@ -1,0 +1,27 @@
+package workload
+
+import "math/rand"
+
+// RateSchedule is the open-loop arrival machinery shared by the
+// KV-serving workload and the fleet traffic stream (internal/fleet): a
+// seeded Poisson process whose rate is Base requests/second scaled by
+// the multiplier active at the current instant. Each Mult entry lasts
+// PeriodSec seconds and the schedule cycles — the diurnal burst pattern
+// serving studies care about. Arrivals are open-loop by construction:
+// the next instant depends only on the schedule and the RNG stream,
+// never on service progress.
+type RateSchedule struct {
+	Base      float64
+	Mult      []float64
+	PeriodSec float64
+}
+
+// Next draws the next Poisson arrival after instant t (in seconds),
+// consuming exactly one ExpFloat64 from rng. Callers interleaving other
+// draws on the same stream keep their historical draw order — the
+// KV-serving generator's request plan is byte-identical to the
+// pre-refactor inline loop.
+func (s RateSchedule) Next(rng *rand.Rand, t float64) float64 {
+	m := s.Mult[int(t/s.PeriodSec)%len(s.Mult)]
+	return t + rng.ExpFloat64()/(s.Base*m)
+}

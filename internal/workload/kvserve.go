@@ -159,12 +159,12 @@ func (w *KVServeWorkload) build() {
 		// Plan requests until the KV area (working set minus the
 		// prefix pool) is exhausted. Every draw happens in a fixed
 		// order, so the plan is a pure function of the seed.
+		sched := RateSchedule{Base: w.BaseRate, Mult: w.RateSchedule, PeriodSec: w.PeriodSec}
 		var reqs []kvRequest
 		cursor := int64(w.Prefixes * w.PrefixPages)
 		t := 0.0
 		for {
-			mult := w.RateSchedule[int(t/w.PeriodSec)%len(w.RateSchedule)]
-			t += rng.ExpFloat64() / (w.BaseRate * mult)
+			t = sched.Next(rng, t)
 			r := kvRequest{
 				prefix:      rng.Intn(w.Prefixes),
 				promptLen:   w.MinPromptPages + rng.Intn(w.MaxPromptPages-w.MinPromptPages+1),
